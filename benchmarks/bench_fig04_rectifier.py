@@ -1,0 +1,21 @@
+"""Bench for Fig 4: rectifier comparison (clamp vs basic; ours vs WISP)."""
+
+from conftest import print_experiment
+
+from repro.experiments import fig04_rectifier
+
+
+def test_fig04_rectifier(benchmark):
+    result = benchmark.pedantic(fig04_rectifier.run, rounds=1, iterations=1)
+    print_experiment(result, fig04_rectifier.format_result)
+
+    # Shape assertions against the paper.
+    clamp = result["clamp_out_v"]
+    basic = result["basic_out_v"]
+    # Fig 4a: at weak inputs only the clamp rectifier produces output.
+    weak = result["powers_dbm"] < -20
+    assert (clamp[weak] > basic[weak]).all()
+    # Fig 4b: ours tracks the 802.11b envelope far better than WISP.
+    assert result["fidelity_ours"] > 3 * result["fidelity_wisp"]
+    # §2.2.1: downlink range on the order of a meter.
+    assert 0.4 < result["downlink_range_m"] < 3.0

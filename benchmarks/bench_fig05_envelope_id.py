@@ -1,0 +1,20 @@
+"""Bench for Fig 5: 20 Msps identification accuracy over (L_p, L_t)."""
+
+from conftest import print_experiment
+
+from repro.experiments import fig05_envelope_id
+
+
+def test_fig05_envelope_id(benchmark):
+    result = benchmark.pedantic(
+        fig05_envelope_id.run, kwargs={"n_traces": 10}, rounds=1, iterations=1
+    )
+    print_experiment(result, fig05_envelope_id.format_result)
+
+    # Paper: L_p=40, L_t=120 reaches >= 99.3% minimum accuracy; our
+    # simulated envelopes are cleaner, so demand a high floor.
+    report = result["grid_reports"][(40, 120)]
+    assert report.average >= 0.95
+    assert report.minimum >= 0.85
+    # Fig 5a: all four envelopes present and distinguishable lengths.
+    assert len(result["envelopes"]) == 4

@@ -1,0 +1,23 @@
+"""Bench for Fig 8: low sampling rates and the extended window."""
+
+from conftest import print_experiment
+
+from repro.experiments import fig08_sampling
+
+
+def test_fig08_sampling(benchmark):
+    result = benchmark.pedantic(
+        fig08_sampling.run, kwargs={"n_traces": 12, "n_train": 16},
+        rounds=1, iterations=1,
+    )
+    print_experiment(result, fig08_sampling.format_result)
+
+    reports = result["reports"]
+    ext = reports["2.5Msps/extended"].average
+    base = reports["2.5Msps/base"].average
+    low = reports["1Msps/extended"].average
+    # Paper: base 0.485 -> extended 0.93; 1 Msps ~ 0.5.
+    assert ext > base
+    assert ext >= 0.80
+    assert low < ext
+    assert low < 0.80

@@ -1,0 +1,28 @@
+"""Bench for Fig 13: LoS RSSI/BER/throughput across distances."""
+
+import pytest
+from conftest import print_experiment
+
+from repro.experiments import fig13_los
+from repro.phy.protocols import Protocol
+
+
+def test_fig13_los(benchmark):
+    result = benchmark.pedantic(fig13_los.run, rounds=1, iterations=1)
+    print_experiment(result, fig13_los.format_result)
+    per = result["per_protocol"]
+
+    # Paper Fig 13a: max ranges 28 m WiFi / 22 m ZigBee / 20 m BLE.
+    assert per[Protocol.WIFI_B]["max_range_m"] == pytest.approx(28.0, abs=2.0)
+    assert per[Protocol.WIFI_N]["max_range_m"] == pytest.approx(28.0, abs=2.0)
+    assert per[Protocol.ZIGBEE]["max_range_m"] == pytest.approx(22.0, abs=2.0)
+    assert per[Protocol.BLE]["max_range_m"] == pytest.approx(20.0, abs=2.0)
+
+    # Paper Fig 13b: BER stays low out to 16 m for all protocols.
+    for p in Protocol:
+        assert per[p]["ber"][15] < 0.05
+
+    # RSSI decreases monotonically with distance.
+    for p in Protocol:
+        rssi = per[p]["rssi_dbm"]
+        assert all(a >= b for a, b in zip(rssi, rssi[1:]))

@@ -1,0 +1,23 @@
+"""Bench for Fig 14: NLoS RSSI/BER/throughput across distances."""
+
+import pytest
+from conftest import print_experiment
+
+from repro.experiments import fig13_los, fig14_nlos
+from repro.phy.protocols import Protocol
+
+
+def test_fig14_nlos(benchmark):
+    result = benchmark.pedantic(fig14_nlos.run, rounds=1, iterations=1)
+    print_experiment(result, fig14_nlos.format_result)
+    per = result["per_protocol"]
+
+    # Paper Fig 14a: NLoS max ranges 22 / 18 / 16 m.
+    assert per[Protocol.WIFI_B]["max_range_m"] == pytest.approx(22.0, abs=2.0)
+    assert per[Protocol.ZIGBEE]["max_range_m"] == pytest.approx(18.0, abs=2.0)
+    assert per[Protocol.BLE]["max_range_m"] == pytest.approx(16.0, abs=2.0)
+
+    # Every protocol's NLoS range is shorter than its LoS range.
+    los = fig13_los.run()["per_protocol"]
+    for p in Protocol:
+        assert per[p]["max_range_m"] < los[p]["max_range_m"]

@@ -1,0 +1,26 @@
+"""Bench for Fig 15: tag throughput with the original channel occluded."""
+
+import pytest
+from conftest import print_experiment
+
+from repro.experiments import fig15_occlusion
+
+
+def test_fig15_occlusion(benchmark):
+    result = benchmark.pedantic(
+        fig15_occlusion.run, kwargs={"n_packets": 400}, rounds=1, iterations=1
+    )
+    print_experiment(result, fig15_occlusion.format_result)
+
+    multi_ble = result["multiscatter_ble_kbps"]
+    multi_11b = result["multiscatter_11b_kbps"]
+    hh = result["hitchhike_kbps"]
+    fr = result["freerider_kbps"]
+
+    # Paper: multiscatter 136/121 kbps > Hitchhike 94 > FreeRider 33.
+    assert multi_ble > hh > fr
+    assert multi_11b > fr
+    assert hh == pytest.approx(94.0, rel=0.4)
+    assert fr == pytest.approx(33.0, rel=0.4)
+    assert multi_ble == pytest.approx(136.0, rel=0.3)
+    assert multi_11b == pytest.approx(121.0, rel=0.3)

@@ -1,0 +1,24 @@
+"""Bench for Fig 16: time- and frequency-domain excitation collisions."""
+
+from conftest import print_experiment
+
+from repro.experiments import fig16_collisions
+
+
+def test_fig16_collisions(benchmark):
+    result = benchmark.pedantic(
+        fig16_collisions.run, kwargs={"n_trials": 12}, rounds=1, iterations=1
+    )
+    print_experiment(result, fig16_collisions.format_result)
+
+    tc = result["time_collision"]
+    fc = result["freq_collision"]
+
+    # Paper Fig 16b: BLE drops hard (278 -> 92 kbps), 11n barely moves.
+    assert tc["ble_collided_kbps"] < 0.5 * tc["ble_clean_kbps"]
+    assert tc["wifi_n_collided_kbps"] > 0.9 * tc["wifi_n_clean_kbps"]
+
+    # Paper Fig 16d: neither protocol much affected by frequency-domain
+    # collisions when packets do not overlap in time.
+    assert fc["zigbee_collided_kbps"] > 0.7 * fc["zigbee_clean_kbps"]
+    assert fc["wifi_n_collided_kbps"] > 0.9 * fc["wifi_n_clean_kbps"]

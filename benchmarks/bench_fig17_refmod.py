@@ -1,0 +1,20 @@
+"""Bench for Fig 17: reference-symbol modulation robustness."""
+
+from conftest import print_experiment
+
+from repro.experiments import fig17_refmod
+
+
+def test_fig17_refmod(benchmark):
+    result = benchmark.pedantic(
+        fig17_refmod.run, kwargs={"n_packets": 6}, rounds=1, iterations=1
+    )
+    print_experiment(result, fig17_refmod.format_result)
+
+    # Paper: 11b tag BER below ~0.6% for all three DSSS/CCK reference
+    # modulations; the OFDM band is likewise stable at its operating
+    # SNR.  Allow simulation-scale resolution slack.
+    for name, ber in result["wifi_b"].items():
+        assert ber <= 0.06, name
+    for name, ber in result["wifi_n"].items():
+        assert ber <= 0.08, name

@@ -1,0 +1,21 @@
+"""Bench for Fig 18: excitation diversity (uptime + carrier pick)."""
+
+from conftest import print_experiment
+
+from repro.experiments import fig18_diversity
+from repro.phy.protocols import Protocol
+
+
+def test_fig18_diversity(benchmark):
+    result = benchmark.pedantic(fig18_diversity.run, rounds=1, iterations=1)
+    print_experiment(result, fig18_diversity.format_result)
+
+    # Paper Fig 18a: multiscatter busy ~always, single-protocol ~50%.
+    assert result["multi_active_fraction"] > 0.9
+    assert 0.3 < result["single_active_fraction"] < 0.7
+    assert result["multi_mean_kbps"] > result["single_mean_kbps"]
+
+    # Paper Fig 18b: 802.11n picked, 6.3 kbps goal met; 11b-only fails.
+    assert result["picked"] is Protocol.WIFI_N
+    assert result["estimates"][0].tag_goodput_kbps >= result["goal_kbps"]
+    assert result["single_protocol_goodput_kbps"] < result["goal_kbps"]

@@ -1,0 +1,76 @@
+"""Throughput benchmarks of the library's hot primitives.
+
+Unlike the paper-reproduction benches (single-shot, printed tables),
+these run multiple rounds so pytest-benchmark's statistics are
+meaningful -- they guard the simulator's own performance: modulator
+and demodulator sample rates, correlation scoring, Viterbi decode.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.adc import Adc
+from repro.core.matching import score_capture
+from repro.core.rectifier import ClampRectifier
+from repro.core.templates import TemplateBank
+from repro.phy import ble, convcode, viterbi, wifi_b, wifi_n, zigbee
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return bytes(range(64))
+
+
+class TestModulators:
+    def test_wifi_b_modulate(self, benchmark, payload):
+        wave = benchmark(wifi_b.modulate, payload)
+        assert wave.n_samples > 0
+
+    def test_wifi_n_modulate(self, benchmark, payload):
+        wave = benchmark(wifi_n.modulate, payload)
+        assert wave.n_samples > 0
+
+    def test_ble_modulate(self, benchmark, payload):
+        wave = benchmark(ble.modulate, payload)
+        assert wave.n_samples > 0
+
+    def test_zigbee_modulate(self, benchmark, payload):
+        wave = benchmark(zigbee.modulate, payload)
+        assert wave.n_samples > 0
+
+
+class TestDemodulators:
+    def test_wifi_n_demodulate(self, benchmark, payload):
+        wave = wifi_n.modulate(payload)
+        result = benchmark(wifi_n.demodulate, wave)
+        assert result.psdu_bits.size
+
+    def test_wifi_b_demodulate(self, benchmark, payload):
+        wave = wifi_b.modulate(payload)
+        result = benchmark(wifi_b.demodulate, wave)
+        assert result.payload_bits.size
+
+    def test_viterbi_decode(self, benchmark):
+        rng = np.random.default_rng(0)
+        info = rng.integers(0, 2, 1000).astype(np.uint8)
+        coded = convcode.encode(info)
+        decoded = benchmark(viterbi.decode, coded, n_info=info.size)
+        assert np.array_equal(decoded, info)
+
+
+class TestTagPipeline:
+    def test_rectifier(self, benchmark, payload):
+        wave = wifi_n.modulate(payload)
+        rect = ClampRectifier()
+        out = benchmark(rect.rectify, wave, -20.0)
+        assert out.voltage.size == wave.n_samples
+
+    def test_score_capture(self, benchmark):
+        adc = Adc(sample_rate=2.5e6)
+        bank = TemplateBank.build(adc, window_us=38.0)
+        rng = np.random.default_rng(1)
+        codes = rng.integers(0, 512, 140)
+        scores = benchmark(
+            score_capture, codes, bank, quantized=True, offsets=(0, 1, 2, 3)
+        )
+        assert len(scores) == 4

@@ -1,0 +1,12 @@
+"""Shared benchmark fixtures and result printing."""
+
+import pytest
+
+
+def print_experiment(result, format_fn):
+    """Render an experiment's table into the captured output."""
+    print()
+    print(f"==== {result.name} ====")
+    print(format_fn(result))
+    for note in result.notes:
+        print(f"  note: {note}")

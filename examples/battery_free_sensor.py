@@ -1,0 +1,69 @@
+"""Battery-free sensor lifecycle (paper §3 'Power consumption', Table 4).
+
+A solar-harvesting multiscatter tag alternates between charging its
+storage capacitor and short bursts of backscatter work.  This example
+simulates a day-in-the-life timeline at indoor and outdoor light
+levels and prints how often the sensor gets a word in.
+
+Run:  python examples/battery_free_sensor.py
+"""
+
+from repro.core.energy import (
+    INDOOR_LUX,
+    OUTDOOR_LUX,
+    EnergyBudget,
+    exchange_times,
+)
+from repro.phy.protocols import DEFAULT_PACKET_RATES, Protocol
+
+
+def simulate_day(budget: EnergyBudget, lux: float, horizon_s: float) -> dict:
+    """Charge/discharge cycles over a time horizon."""
+    harvest = budget.harvest_time_s(lux)
+    runtime = budget.runtime_per_charge_s
+    cycle = harvest + runtime
+    n_cycles = int(horizon_s // cycle)
+    active_s = n_cycles * runtime
+    return {
+        "cycles": n_cycles,
+        "active_s": active_s,
+        "duty": active_s / horizon_s if horizon_s else 0.0,
+        "cycle_s": cycle,
+    }
+
+
+def main() -> None:
+    budget = EnergyBudget()
+    cap = budget.capacitor
+    print(f"storage: {cap.capacitance_f * 1e3:.0f} mF, "
+          f"{cap.v_start} V -> {cap.v_cutoff} V = "
+          f"{cap.usable_energy_j * 1e3:.1f} mJ per cycle")
+    print(f"tag draws {budget.power.total_mw:.1f} mW peak -> "
+          f"{budget.runtime_per_charge_s:.2f} s of work per charge\n")
+
+    horizon = 3600.0  # one hour
+    for label, lux in (("indoor (500 lux)", INDOOR_LUX),
+                       ("outdoor (104k lux)", OUTDOOR_LUX)):
+        day = simulate_day(budget, lux, horizon)
+        print(f"{label}: {day['cycles']} charge cycles/hour, "
+              f"duty cycle {day['duty']:.2%}, "
+              f"one cycle every {day['cycle_s']:.1f} s")
+
+    print("\naverage time between tag-data exchanges (Table 4):")
+    table = exchange_times(budget)
+    for protocol in (Protocol.WIFI_N, Protocol.WIFI_B, Protocol.BLE, Protocol.ZIGBEE):
+        vals = table[protocol]
+        rate = DEFAULT_PACKET_RATES[protocol]
+        print(f"  {protocol.value:8s} ({rate:6.0f} pkt/s excitation): "
+              f"indoor {vals['indoor_s']:7.2f} s,  "
+              f"outdoor {vals['outdoor_s'] * 1e3:7.1f} ms")
+
+    low_power = budget.power.at_adc_rate(2.5e6)
+    slow_budget = EnergyBudget(power=low_power)
+    print(f"\nwith the 2.5 Msps ADC operating point ({low_power.total_mw:.0f} mW), "
+          f"one charge lasts {slow_budget.runtime_per_charge_s:.2f} s "
+          f"({slow_budget.runtime_per_charge_s / budget.runtime_per_charge_s:.1f}x longer)")
+
+
+if __name__ == "__main__":
+    main()

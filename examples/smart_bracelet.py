@@ -1,0 +1,74 @@
+"""Smart-bracelet scenario (paper §4.2.2 / Fig 18b).
+
+An on-body sensor must deliver >= 6.3 kbps of monitoring data.  The
+air holds abundant 802.11n excitations and only spotty 802.11b.  The
+multiscatter tag estimates per-carrier goodput, picks 802.11n, and
+streams heart-rate samples over it; an 802.11b-only tag cannot meet
+the goal.
+
+Run:  python examples/smart_bracelet.py
+"""
+
+import numpy as np
+
+from repro.core.carrier_select import CarrierSelector
+from repro.core.overlay import Mode, OverlayCodec, OverlayConfig
+from repro.core.overlay_decoder import OverlayDecoder
+from repro.core.tag_modulation import TagModulator
+from repro.phy.bits import bits_from_bytes
+from repro.phy.protocols import Protocol
+
+GOAL_KBPS = 6.3
+
+
+def sense_heart_rate(rng: np.random.Generator, n_samples: int = 16) -> bytes:
+    """Fake on-body sensor: heart-rate samples around 72 bpm."""
+    return bytes(int(x) for x in np.clip(rng.normal(72, 4, n_samples), 40, 200))
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # 1. Observe the air and pick the best carrier for the goal.
+    observed_rates = {Protocol.WIFI_N: 2000.0, Protocol.WIFI_B: 3.0}
+    selector = CarrierSelector()
+    best, estimates = selector.pick(observed_rates, goal_kbps=GOAL_KBPS)
+    print(f"goodput goal: {GOAL_KBPS} kbps")
+    for est in estimates:
+        marker = " <- picked" if est.protocol is best else ""
+        print(f"  {est.protocol.value:8s} @ {est.observed_rate_pkts:6.0f} pkt/s "
+              f"-> {est.tag_goodput_kbps:7.1f} kbps tag goodput{marker}")
+    assert best is Protocol.WIFI_N
+
+    # 2. Stream sensor data over the picked carrier, packet by packet.
+    codec = OverlayCodec(OverlayConfig.for_mode(best, Mode.MODE_1))
+    modulator = TagModulator(codec)
+    decoder = OverlayDecoder(codec)
+
+    delivered = bytearray()
+    for packet_idx in range(4):
+        reading = sense_heart_rate(rng)
+        tag_bits = bits_from_bytes(reading)
+
+        productive = rng.integers(0, 2, 40).astype(np.uint8)
+        carrier = codec.build_carrier(productive)
+        _, cap = codec.capacity(carrier.annotations["n_payload_symbols"])
+        chunk = tag_bits[:cap]
+
+        backscattered = modulator.modulate(carrier, chunk)
+        received = modulator.received_at_shifted_channel(backscattered)
+        received.annotations = dict(carrier.annotations)
+        output = decoder.decode(received)
+
+        ok = np.array_equal(output.tag_bits[: chunk.size], chunk)
+        print(f"packet {packet_idx}: {chunk.size} tag bits, decoded ok = {ok}")
+        if ok:
+            n_bytes = chunk.size // 8
+            delivered.extend(reading[:n_bytes])
+
+    print(f"delivered {len(delivered)} heart-rate samples: "
+          f"{list(delivered[:8])}... bpm")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Thermal noise models.
+
+AWGN is parameterized either by an SNR relative to the waveform's own
+power or by an absolute noise power under the library's 0 dBm == unit
+power convention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy.waveform import Waveform
+
+__all__ = ["noise_floor_dbm", "awgn", "complex_noise"]
+
+#: Thermal noise density at 290 K, dBm/Hz.
+THERMAL_NOISE_DBM_PER_HZ = -174.0
+
+#: Default receiver noise figure (commodity 2.4 GHz radios), dB.
+DEFAULT_NOISE_FIGURE_DB = 7.0
+
+
+def noise_floor_dbm(bandwidth_hz: float, noise_figure_db: float = DEFAULT_NOISE_FIGURE_DB) -> float:
+    """Receiver noise floor: -174 + 10 log10(B) + NF."""
+    if bandwidth_hz <= 0:
+        raise ValueError("bandwidth must be positive")
+    return THERMAL_NOISE_DBM_PER_HZ + 10.0 * np.log10(bandwidth_hz) + noise_figure_db
+
+
+def complex_noise(n: int, power_mw: float, rng: np.random.Generator) -> np.ndarray:
+    """Circular complex Gaussian samples of mean power ``power_mw``."""
+    if power_mw < 0:
+        raise ValueError("noise power must be non-negative")
+    sigma = np.sqrt(power_mw / 2.0)
+    return sigma * (rng.normal(size=n) + 1j * rng.normal(size=n))
+
+
+def awgn(
+    wave: Waveform,
+    *,
+    snr_db: float | None = None,
+    noise_power_dbm: float | None = None,
+    rng: np.random.Generator | None = None,
+) -> Waveform:
+    """Add white Gaussian noise.
+
+    Exactly one of ``snr_db`` (relative to the waveform's mean power)
+    or ``noise_power_dbm`` (absolute, 0 dBm == unit power) must be
+    given.
+    """
+    if (snr_db is None) == (noise_power_dbm is None):
+        raise ValueError("give exactly one of snr_db or noise_power_dbm")
+    rng = rng or np.random.default_rng()
+    if snr_db is not None:
+        signal_power = wave.mean_power()
+        noise_power = signal_power / (10.0 ** (snr_db / 10.0))
+    else:
+        noise_power = 10.0 ** (noise_power_dbm / 10.0)
+    noisy = wave.copy()
+    noisy.iq = noisy.iq + complex_noise(wave.n_samples, noise_power, rng)
+    return noisy

@@ -1,0 +1,81 @@
+"""Path-loss models for the 2.4 GHz ISM band.
+
+The paper's deployment is an indoor hallway/office floor (Fig 11b,
+30 m x 50 m).  We model it with a log-distance law whose exponent is
+calibrated once (DESIGN.md §5) so the LoS backscatter ranges land near
+the paper's 28/22/20 m; hallways act as waveguides, hence an exponent
+below free space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "SPEED_OF_LIGHT",
+    "wavelength",
+    "free_space_path_loss_db",
+    "log_distance_path_loss_db",
+    "db_to_gain",
+    "gain_to_db",
+    "dbm_to_mw",
+    "mw_to_dbm",
+]
+
+SPEED_OF_LIGHT = 299_792_458.0
+
+#: Calibrated indoor-hallway exponent (see DESIGN.md §5).
+DEFAULT_EXPONENT = 1.8
+
+#: Reference loss at 1 m for 2.4 GHz (free space ~= 40.05 dB).
+DEFAULT_PL0_DB = 40.05
+
+
+def wavelength(freq_hz: float) -> float:
+    """Carrier wavelength in meters."""
+    if freq_hz <= 0:
+        raise ValueError("frequency must be positive")
+    return SPEED_OF_LIGHT / freq_hz
+
+
+def free_space_path_loss_db(distance_m: float, freq_hz: float = 2.4e9) -> float:
+    """Friis free-space loss; ``distance_m`` is clamped to >= 0.01 m."""
+    d = max(float(distance_m), 0.01)
+    lam = wavelength(freq_hz)
+    return float(20.0 * np.log10(4.0 * np.pi * d / lam))
+
+
+def log_distance_path_loss_db(
+    distance_m: float,
+    *,
+    exponent: float = DEFAULT_EXPONENT,
+    pl0_db: float = DEFAULT_PL0_DB,
+    d0_m: float = 1.0,
+) -> float:
+    """Log-distance model: PL = PL0 + 10 n log10(d / d0)."""
+    if exponent <= 0:
+        raise ValueError("exponent must be positive")
+    d = max(float(distance_m), 0.01)
+    return float(pl0_db + 10.0 * exponent * np.log10(d / d0_m))
+
+
+def db_to_gain(db: float) -> float:
+    """Power dB to amplitude scale factor."""
+    return float(10.0 ** (db / 20.0))
+
+
+def gain_to_db(gain: float) -> float:
+    """Amplitude scale factor to power dB."""
+    if gain <= 0:
+        raise ValueError("gain must be positive")
+    return float(20.0 * np.log10(gain))
+
+
+def dbm_to_mw(dbm: float) -> float:
+    return float(10.0 ** (dbm / 10.0))
+
+
+def mw_to_dbm(mw: float) -> float:
+    if mw <= 0:
+        raise ValueError("power must be positive")
+    return float(10.0 * np.log10(mw))

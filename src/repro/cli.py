@@ -1,0 +1,113 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives the repository an adoption-grade front door:
+
+* ``python -m repro list``                -- available experiments
+* ``python -m repro run fig13_los``      -- run one experiment, print
+  its paper-style table
+* ``python -m repro run-all``            -- run everything (quick
+  parameters)
+* ``python -m repro info``               -- library and calibration
+  summary
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+
+__all__ = ["main", "EXPERIMENTS"]
+
+#: Experiment name -> module path (all expose run() / format_result()).
+EXPERIMENTS = {
+    name: f"repro.experiments.{name}"
+    for name in (
+        "fig04_rectifier",
+        "fig05_envelope_id",
+        "fig07_ordered",
+        "fig08_sampling",
+        "fig09_baseline_flaws",
+        "fig12_tradeoffs",
+        "fig13_los",
+        "fig14_nlos",
+        "fig15_occlusion",
+        "fig16_collisions",
+        "fig17_refmod",
+        "fig18_diversity",
+        "validation_ber",
+        "table2_resources",
+        "table3_power",
+        "table4_energy",
+        "table5_idpower",
+    )
+}
+
+
+def _run_experiment(name: str) -> int:
+    if name not in EXPERIMENTS:
+        print(f"unknown experiment {name!r}; see 'python -m repro list'",
+              file=sys.stderr)
+        return 2
+    module = importlib.import_module(EXPERIMENTS[name])
+    result = module.run()
+    print(f"==== {result.name} ====")
+    print(module.format_result(result))
+    for note in result.notes:
+        print(f"  note: {note}")
+    return 0
+
+
+def _cmd_list() -> int:
+    print("experiments (paper tables and figures):")
+    for name in EXPERIMENTS:
+        module = importlib.import_module(EXPERIMENTS[name])
+        doc = (module.__doc__ or "").strip().splitlines()
+        print(f"  {name:22s} {doc[0] if doc else ''}")
+    return 0
+
+
+def _cmd_info() -> int:
+    from repro.channel.link import PROTOCOL_LINK_DEFAULTS, BackscatterLink
+    from repro.phy.protocols import Protocol
+
+    print("multiscatter reproduction -- Gong et al., CoNEXT 2020")
+    print("calibrated LoS backscatter ranges:")
+    for p in Protocol:
+        link = BackscatterLink(PROTOCOL_LINK_DEFAULTS[p])
+        print(f"  {p.value:8s} {link.max_range_m():5.1f} m "
+              f"(tx {PROTOCOL_LINK_DEFAULTS[p].tx_power_dbm:.0f} dBm)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="multiscatter: multiprotocol backscatter reproduction",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list available experiments")
+    sub.add_parser("info", help="library and calibration summary")
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("experiment", help="experiment name (see 'list')")
+    sub.add_parser("run-all", help="run every experiment")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "run":
+        return _run_experiment(args.experiment)
+    if args.command == "run-all":
+        status = 0
+        for name in EXPERIMENTS:
+            status |= _run_experiment(name)
+            print()
+        return status
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,76 @@
+"""Optional FEC for tag data (the paper's footnote-8 future work).
+
+The paper protects tag bits only by gamma-fold repetition with majority
+voting.  This module adds a Hamming(7,4) layer on top, so the ablation
+benchmark can quantify what a modest block code buys over pure
+repetition at equal overhead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["hamming74_encode", "hamming74_decode", "repetition_encode", "repetition_decode"]
+
+# Generator: data bits d0..d3 -> codeword (p0 p1 d0 p2 d1 d2 d3),
+# standard Hamming(7,4) with parity at positions 1, 2, 4.
+_PARITY_SETS = {
+    0: (2, 4, 6),  # p0 covers positions 3,5,7 (0-indexed 2,4,6)
+    1: (2, 5, 6),  # p1 covers positions 3,6,7
+    3: (4, 5, 6),  # p2 covers positions 5,6,7
+}
+
+
+def hamming74_encode(bits: np.ndarray | list[int]) -> np.ndarray:
+    """Encode a bit stream (padded to a nibble multiple) to Hamming(7,4)."""
+    arr = np.asarray(bits, dtype=np.uint8)
+    pad = (-arr.size) % 4
+    if pad:
+        arr = np.concatenate([arr, np.zeros(pad, np.uint8)])
+    out = np.empty(arr.size // 4 * 7, dtype=np.uint8)
+    for i in range(arr.size // 4):
+        d = arr[4 * i : 4 * i + 4]
+        cw = np.zeros(7, dtype=np.uint8)
+        cw[2], cw[4], cw[5], cw[6] = d
+        for p, covered in _PARITY_SETS.items():
+            cw[p] = int(sum(int(cw[c]) for c in covered) % 2)
+        out[7 * i : 7 * i + 7] = cw
+    return out
+
+
+def hamming74_decode(coded: np.ndarray | list[int]) -> np.ndarray:
+    """Decode with single-error correction per 7-bit block."""
+    arr = np.asarray(coded, dtype=np.uint8)
+    if arr.size % 7:
+        raise ValueError("coded length must be a multiple of 7")
+    out = np.empty(arr.size // 7 * 4, dtype=np.uint8)
+    for i in range(arr.size // 7):
+        cw = arr[7 * i : 7 * i + 7].copy()
+        syndrome = 0
+        for bit, (p, covered) in enumerate(_PARITY_SETS.items()):
+            parity = (int(cw[p]) + sum(int(cw[c]) for c in covered)) % 2
+            if parity:
+                syndrome |= 1 << bit
+        # Syndrome bits address the erroneous position (1-indexed
+        # weights 1, 2, 4 over positions p0,p1,p2 mapping).
+        if syndrome:
+            pos_map = {1: 0, 2: 1, 3: 2, 4: 3, 5: 4, 6: 5, 7: 6}
+            cw[pos_map[syndrome]] ^= 1
+        out[4 * i : 4 * i + 4] = (cw[2], cw[4], cw[5], cw[6])
+    return out
+
+
+def repetition_encode(bits: np.ndarray | list[int], n: int) -> np.ndarray:
+    """n-fold repetition (the paper's baseline tag-data protection)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return np.repeat(np.asarray(bits, dtype=np.uint8), n)
+
+
+def repetition_decode(coded: np.ndarray | list[int], n: int) -> np.ndarray:
+    """Majority-vote decode of n-fold repetition."""
+    arr = np.asarray(coded, dtype=np.uint8)
+    if n < 1 or arr.size % n:
+        raise ValueError("coded length must be a multiple of n")
+    votes = arr.reshape(-1, n).sum(axis=1)
+    return (votes * 2 > n).astype(np.uint8)

@@ -1,0 +1,284 @@
+"""Overlay modulation (paper §2.4): reference-based tag modulation.
+
+A productive carrier is structured as *modulatable sequences* of
+``kappa`` PHY symbols: the first symbol is the **reference symbol**
+carrying one unit of productive data, and the remaining ``kappa - 1``
+symbols repeat its content and are modulatable by the tag.  The tag
+spends ``gamma`` symbols per tag bit (its repetition/robustness factor,
+Table 6), so each sequence carries ``floor((kappa-1)/gamma)`` tag bits.
+A single commodity radio decodes the packet normally, reads productive
+data off the reference symbols, and recovers tag data by comparing each
+modulatable symbol against its reference.
+
+Per-protocol comparison domains (see :mod:`repro.core.overlay_decoder`):
+
+* 802.11b -- on-air (scrambled-domain) DSSS symbol bits.  The 802.11b
+  scrambler is self-synchronizing, so host software can re-derive the
+  on-air bits from the received PSDU exactly.
+* 802.11n -- per-OFDM-symbol decoded bit groups, compared over their
+  middle half (the scrambler+BCC transients of §2.4 "802.11n").
+* BLE -- raw post-access-address bits (whitening is additive, so it
+  commutes with the comparison).
+* ZigBee -- best-match PN symbol indices.
+
+``Mode`` reproduces Table 6: mode 1 has as many modulatable symbols as
+reference symbols (kappa = 2 gamma), mode 2 triples the ratio
+(kappa = 4 gamma), mode 3 stretches one sequence over the whole payload
+(a single productive bit per packet).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.phy import ble, wifi_b, wifi_n, zigbee
+from repro.phy.protocols import Protocol
+from repro.phy.waveform import Waveform
+
+__all__ = [
+    "Mode",
+    "DEFAULT_GAMMA",
+    "OverlayConfig",
+    "OverlayCodec",
+    "ZIGBEE_SYMBOL_FOR_BIT",
+]
+
+#: Tag spreading factors gamma of Table 6.
+DEFAULT_GAMMA: dict[Protocol, int] = {
+    Protocol.WIFI_B: 4,
+    Protocol.WIFI_N: 2,
+    Protocol.BLE: 4,
+    Protocol.ZIGBEE: 2,
+}
+
+#: ZigBee productive bit -> reference PN symbol (0 and 8 are far apart
+#: in chip space and survive the tag's pi flips distinguishably).
+ZIGBEE_SYMBOL_FOR_BIT = {0: 0x0, 1: 0x8}
+_ZIGBEE_BIT_FOR_SYMBOL = {v: k for k, v in ZIGBEE_SYMBOL_FOR_BIT.items()}
+
+
+class Mode(enum.Enum):
+    """The three productive/tag tradeoff modes of Table 6."""
+
+    MODE_1 = 1
+    MODE_2 = 2
+    MODE_3 = 3
+
+
+@dataclass(frozen=True)
+class OverlayConfig:
+    """One protocol's overlay parameters.
+
+    ``kappa`` is the productive-data spread factor (sequence length in
+    symbols), ``gamma`` the tag-data spread factor.  Tag bits per
+    sequence = floor((kappa - 1) / gamma).
+    """
+
+    protocol: Protocol
+    kappa: int
+    gamma: int
+
+    def __post_init__(self) -> None:
+        if self.gamma < 1:
+            raise ValueError("gamma must be >= 1")
+        if self.kappa < 2:
+            raise ValueError("kappa must be >= 2 (reference + modulatable)")
+        if self.kappa <= self.gamma:
+            raise ValueError("kappa must exceed gamma to fit a tag bit")
+
+    @classmethod
+    def for_mode(
+        cls,
+        protocol: Protocol,
+        mode: Mode,
+        *,
+        payload_symbols: int | None = None,
+        gamma: int | None = None,
+    ) -> "OverlayConfig":
+        """Table 6 construction: kappa = 2 gamma / 4 gamma / gamma*n."""
+        g = gamma if gamma is not None else DEFAULT_GAMMA[protocol]
+        if mode is Mode.MODE_1:
+            kappa = 2 * g
+        elif mode is Mode.MODE_2:
+            kappa = 4 * g
+        else:
+            if payload_symbols is None:
+                raise ValueError("mode 3 needs payload_symbols (kappa = gamma*n)")
+            # Leave one symbol of headroom for protocols that reserve a
+            # leading payload symbol (802.11n's SERVICE filler).
+            n = max((payload_symbols - 1) // g, 2)
+            kappa = g * n
+        return cls(protocol=protocol, kappa=kappa, gamma=g)
+
+    @property
+    def tag_bits_per_sequence(self) -> int:
+        return (self.kappa - 1) // self.gamma
+
+    @property
+    def productive_bits_per_sequence(self) -> int:
+        return 1
+
+
+class OverlayCodec:
+    """Builds overlay carriers, places tag flips, and decodes both data
+    streams from a single receiver's symbol stream."""
+
+    def __init__(self, config: OverlayConfig):
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # layout
+    # ------------------------------------------------------------------
+    @property
+    def first_sequence_symbol(self) -> int:
+        """Payload-symbol index where sequences start (802.11n reserves
+        symbol 0 for the SERVICE-field filler)."""
+        return 1 if self.config.protocol is Protocol.WIFI_N else 0
+
+    def n_sequences(self, n_payload_symbols: int) -> int:
+        usable = n_payload_symbols - self.first_sequence_symbol
+        return max(usable // self.config.kappa, 0)
+
+    def capacity(self, n_payload_symbols: int) -> tuple[int, int]:
+        """(productive bits, tag bits) that fit in a payload."""
+        n_seq = self.n_sequences(n_payload_symbols)
+        return n_seq, n_seq * self.config.tag_bits_per_sequence
+
+    def sequence_start(self, seq_index: int) -> int:
+        """Payload-symbol index of a sequence's reference symbol."""
+        return self.first_sequence_symbol + seq_index * self.config.kappa
+
+    def tag_symbol_groups(self, seq_index: int) -> list[list[int]]:
+        """Payload-symbol indices of each tag bit's gamma-group."""
+        base = self.sequence_start(seq_index) + 1
+        groups = []
+        for j in range(self.config.tag_bits_per_sequence):
+            groups.append(list(range(base + j * self.config.gamma,
+                                     base + (j + 1) * self.config.gamma)))
+        return groups
+
+    # ------------------------------------------------------------------
+    # productive-carrier construction
+    # ------------------------------------------------------------------
+    def reference_symbol_value(self, bit: int) -> int:
+        """The symbol content that encodes one productive bit."""
+        if self.config.protocol is Protocol.ZIGBEE:
+            return ZIGBEE_SYMBOL_FOR_BIT[int(bit)]
+        return int(bit)
+
+    def productive_bit_from_symbol(self, value: int | np.ndarray) -> int:
+        """Inverse of :meth:`reference_symbol_value` (receiver side)."""
+        if self.config.protocol is Protocol.WIFI_N:
+            group = np.asarray(value)
+            return int(group.mean() > 0.5)
+        if self.config.protocol is Protocol.ZIGBEE:
+            if int(value) in _ZIGBEE_BIT_FOR_SYMBOL:
+                return _ZIGBEE_BIT_FOR_SYMBOL[int(value)]
+            # Fall back to the nearest reference symbol in chip space.
+            chips = zigbee.PN_TABLE[int(value)]
+            d0 = int(np.count_nonzero(chips != zigbee.PN_TABLE[0x0]))
+            d1 = int(np.count_nonzero(chips != zigbee.PN_TABLE[0x8]))
+            return 0 if d0 <= d1 else 1
+        return int(value)
+
+    def build_carrier(
+        self,
+        productive_bits: np.ndarray | list[int],
+        *,
+        trailing_symbols: int = 0,
+    ) -> Waveform:
+        """Modulate a crafted carrier whose payload spreads each
+        productive bit over one kappa-symbol sequence."""
+        bits = np.asarray(productive_bits, dtype=np.uint8)
+        cfg = self.config
+        protocol = cfg.protocol
+        symbol_values = []
+        for b in bits:
+            symbol_values.extend([self.reference_symbol_value(int(b))] * cfg.kappa)
+        symbol_values.extend([0] * trailing_symbols)
+
+        if protocol is Protocol.WIFI_B:
+            onair = np.array(symbol_values, dtype=np.uint8)
+            return wifi_b.modulate(onair, scrambled_domain=True)
+        if protocol is Protocol.BLE:
+            return ble.modulate(np.array(symbol_values, dtype=np.uint8))
+        if protocol is Protocol.ZIGBEE:
+            sym = np.array(symbol_values, dtype=np.uint8)
+            if sym.size % 2:
+                sym = np.concatenate([sym, np.zeros(1, np.uint8)])
+            return zigbee.modulate(zigbee.bits_from_symbols(sym))
+        # 802.11n: craft the data-bit stream; payload symbol 0 carries
+        # the SERVICE field + filler, sequences start at symbol 1.
+        n_dbps = 26  # MCS0
+        stream = [np.zeros(n_dbps, np.uint8)]  # symbol 0 (service+fill)
+        for v in symbol_values:
+            stream.append(np.full(n_dbps, v, dtype=np.uint8))
+        return wifi_n.modulate(b"", data_bits=np.concatenate(stream))
+
+    # ------------------------------------------------------------------
+    # decoding (single commodity receiver)
+    # ------------------------------------------------------------------
+    def _values_differ(self, a, b) -> bool:
+        if self.config.protocol is Protocol.WIFI_N:
+            a = np.asarray(a)
+            b = np.asarray(b)
+            lo = a.size // 4
+            hi = a.size - a.size // 4
+            return float(np.mean(a[lo:hi] != b[lo:hi])) > 0.25
+        return int(a) != int(b)
+
+    def decode_symbols(self, symbol_values: list) -> tuple[np.ndarray, np.ndarray]:
+        """Recover (productive_bits, tag_bits) from the receiver's
+        per-symbol decisions.
+
+        ``symbol_values`` are payload-symbol decisions in the
+        protocol's comparison domain (bits, PN indices, or 26-bit
+        groups).  Tag bits are majority votes of "differs from the
+        reference" across each gamma-group -- the XOR decoding of
+        §2.4 generalized to all four protocols.
+        """
+        cfg = self.config
+        n_seq = self.n_sequences(len(symbol_values))
+        productive = np.zeros(n_seq, dtype=np.uint8)
+        tag = np.zeros(n_seq * cfg.tag_bits_per_sequence, dtype=np.uint8)
+        for s in range(n_seq):
+            ref = symbol_values[self.sequence_start(s)]
+            productive[s] = self.productive_bit_from_symbol(ref)
+            for j, group in enumerate(self.tag_symbol_groups(s)):
+                votes = [
+                    self._values_differ(symbol_values[idx], ref) for idx in group
+                ]
+                tag[s * cfg.tag_bits_per_sequence + j] = int(
+                    np.count_nonzero(votes) * 2 > len(votes)
+                )
+        return productive, tag
+
+    # ------------------------------------------------------------------
+    # tag-side flip layout
+    # ------------------------------------------------------------------
+    def tag_flip_flags(
+        self, tag_bits: np.ndarray | list[int], n_payload_symbols: int
+    ) -> np.ndarray:
+        """Boolean per payload symbol: does the tag flip it?
+
+        Consumes tag bits sequence by sequence; unused capacity is left
+        unmodulated.
+        """
+        bits = np.asarray(tag_bits, dtype=np.uint8)
+        flags = np.zeros(n_payload_symbols, dtype=bool)
+        n_seq = self.n_sequences(n_payload_symbols)
+        per_seq = self.config.tag_bits_per_sequence
+        k = 0
+        for s in range(n_seq):
+            for group in self.tag_symbol_groups(s):
+                if k >= bits.size:
+                    return flags
+                if bits[k]:
+                    for idx in group:
+                        if idx < n_payload_symbols:
+                            flags[idx] = True
+                k += 1
+        return flags

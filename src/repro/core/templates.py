@@ -1,0 +1,153 @@
+"""Identification templates (paper §2.2.2 and §2.3.2).
+
+A template is the expected ADC-domain envelope of a protocol's packet
+head.  It has two parts: a *preprocessing window* (L_p samples) used by
+the matcher to estimate DC level and scale, and a *matching window*
+(L_m samples) that is correlated against the live capture.
+
+Two window lengths matter in the paper:
+
+* the **base window** of 8 us -- the BLE preamble, the shortest packet-
+  detection field among the four protocols;
+* the **extended window** of 40 us (§2.3.2) -- made possible because
+  BLE advertising packets carry a fixed access address right after the
+  preamble, and 802.11n carries fixed HT-STF/HT-LTF fields behind the
+  legacy preamble.  This is what rescues accuracy at 2.5 Msps (Fig 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.adc import Adc
+from repro.core.rectifier import ClampRectifier, _EnvelopeRectifier
+from repro.phy import ble, wifi_b, wifi_n, zigbee
+from repro.phy.protocols import Protocol
+from repro.phy.waveform import Waveform
+
+__all__ = [
+    "Template",
+    "TemplateBank",
+    "reference_waveform",
+    "BASE_WINDOW_US",
+    "EXTENDED_WINDOW_US",
+]
+
+#: 8 us: the BLE preamble bounds the shared base window (§2.2.2).
+BASE_WINDOW_US = 8.0
+
+#: 40 us: the §2.3.2 extension (BLE adv access address, 11n HT fields).
+EXTENDED_WINDOW_US = 40.0
+
+
+def reference_waveform(protocol: Protocol, *, n_payload_bytes: int = 16) -> Waveform:
+    """A clean, deterministic waveform whose head serves as template.
+
+    The template region is payload-independent for every protocol: the
+    802.11b SYNC scrambler seed is fixed, the BLE advertising access
+    address is a constant, ZigBee's SHR is all zero symbols, and the
+    802.11n training fields are standard sequences.
+    """
+    payload = bytes(n_payload_bytes)
+    if protocol is Protocol.WIFI_B:
+        return wifi_b.modulate(payload)
+    if protocol is Protocol.WIFI_N:
+        return wifi_n.modulate(payload)
+    if protocol is Protocol.BLE:
+        return ble.modulate(payload)
+    if protocol is Protocol.ZIGBEE:
+        return zigbee.modulate(payload)
+    raise ValueError(f"unknown protocol {protocol}")
+
+
+@dataclass
+class Template:
+    """One protocol's expected envelope in the ADC domain.
+
+    ``matching`` is zero-mean/unit-norm (full-precision correlation);
+    ``matching_q`` is the +-1 quantized form used by the low-power FPGA
+    implementation (§2.3.1).
+    """
+
+    protocol: Protocol
+    l_p: int
+    matching: np.ndarray
+    matching_q: np.ndarray
+
+    @property
+    def l_m(self) -> int:
+        return self.matching.size
+
+    @property
+    def storage_bits(self) -> int:
+        """On-tag storage for the quantized template (1 bit/sample)."""
+        return self.matching_q.size
+
+
+@dataclass
+class TemplateBank:
+    """Templates for all four protocols at one ADC configuration."""
+
+    adc: Adc
+    window_us: float
+    preprocess_us: float
+    templates: dict[Protocol, Template] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        adc: Adc,
+        *,
+        window_us: float = BASE_WINDOW_US,
+        preprocess_us: float = 2.0,
+        rectifier: _EnvelopeRectifier | None = None,
+        incident_power_dbm: float = -15.0,
+        protocols: tuple[Protocol, ...] = tuple(Protocol),
+    ) -> "TemplateBank":
+        """Build templates by running clean references through the same
+        rectifier + ADC pipeline that live packets will see (noiseless).
+        """
+        rect = rectifier or ClampRectifier(noise_v_rms=0.0)
+        noise_backup = rect.noise_v_rms
+        rect.noise_v_rms = 0.0
+        try:
+            bank = cls(adc=adc, window_us=window_us, preprocess_us=preprocess_us)
+            l_p = max(int(round(preprocess_us * 1e-6 * adc.sample_rate)), 1)
+            l_m = max(int(round(window_us * 1e-6 * adc.sample_rate)), 2)
+            for protocol in protocols:
+                wave = reference_waveform(protocol)
+                analog = rect.rectify(wave, incident_power_dbm)
+                capture = adc.capture(
+                    analog, duration_s=(l_p + l_m + 4) / adc.sample_rate
+                )
+                from repro.core.matching import dc_estimate
+
+                window = capture.codes[l_p : l_p + l_m].astype(float)
+                dc = dc_estimate(capture.codes[:l_p].astype(float))
+                centered = window - window.mean()
+                norm = np.linalg.norm(centered)
+                matching = centered / norm if norm > 1e-12 else centered
+                quantized = np.where(window - dc >= 0.0, 1.0, -1.0)
+                bank.templates[protocol] = Template(
+                    protocol=protocol,
+                    l_p=l_p,
+                    matching=matching,
+                    matching_q=quantized,
+                )
+            return bank
+        finally:
+            rect.noise_v_rms = noise_backup
+
+    @property
+    def l_p(self) -> int:
+        return next(iter(self.templates.values())).l_p
+
+    @property
+    def l_m(self) -> int:
+        return next(iter(self.templates.values())).l_m
+
+    def total_storage_bits(self) -> int:
+        """Template storage on the tag (§2.3 note 2)."""
+        return sum(t.storage_bits for t in self.templates.values())

@@ -1,0 +1,46 @@
+"""Shared helpers for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.phy.protocols import Protocol
+from repro.phy.waveform import Waveform
+from repro.sim.traffic import random_packet
+
+__all__ = ["ExperimentResult", "labeled_traces", "PROTOCOL_ORDER"]
+
+#: Presentation order used across result tables.
+PROTOCOL_ORDER = (Protocol.WIFI_N, Protocol.WIFI_B, Protocol.BLE, Protocol.ZIGBEE)
+
+
+@dataclass
+class ExperimentResult:
+    """A named bundle of series/values plus the rendered table."""
+
+    name: str
+    data: dict[str, Any] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.data[key]
+
+
+def labeled_traces(
+    n_per_protocol: int,
+    *,
+    seed: int = 1234,
+    n_payload_bytes: int = 40,
+) -> list[tuple[Protocol, Waveform]]:
+    """Identification trace set: random payloads for all four protocols."""
+    rng = np.random.default_rng(seed)
+    traces: list[tuple[Protocol, Waveform]] = []
+    for protocol in Protocol:
+        for _ in range(n_per_protocol):
+            traces.append(
+                (protocol, random_packet(protocol, rng, n_payload_bytes=n_payload_bytes))
+            )
+    return traces

@@ -1,0 +1,252 @@
+"""Bit-level utilities shared by all PHY implementations.
+
+Everything here operates on NumPy ``uint8`` arrays of 0/1 values.  The
+2.4 GHz standards transmit bytes least-significant-bit first, so the
+packing helpers default to LSB-first.
+
+Contents:
+
+* bit/byte packing (:func:`bits_from_bytes`, :func:`bytes_from_bits`)
+* generic Galois LFSR (:class:`Lfsr`)
+* the CRCs the four protocols use (802.11 FCS CRC-32, 802.15.4 CRC-16,
+  BLE CRC-24, 802.11b PLCP header CRC-16)
+* the 802.11b self-synchronizing scrambler and the 802.11a/n
+  frame-synchronous scrambler
+* BLE data whitening
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "bits_from_bytes",
+    "bytes_from_bits",
+    "bits_from_int",
+    "int_from_bits",
+    "Lfsr",
+    "crc32_80211",
+    "crc16_ccitt",
+    "crc16_80211b_plcp",
+    "crc24_ble",
+    "scramble_80211b",
+    "descramble_80211b",
+    "scramble_80211_frame",
+    "ble_whitening_sequence",
+    "whiten_ble",
+]
+
+
+def _as_bits(bits: np.ndarray | list[int]) -> np.ndarray:
+    arr = np.asarray(bits, dtype=np.uint8)
+    if arr.ndim != 1:
+        raise ValueError(f"expected 1-D bit array, got shape {arr.shape}")
+    if arr.size and arr.max() > 1:
+        raise ValueError("bit array contains values other than 0/1")
+    return arr
+
+
+def bits_from_bytes(data: bytes | bytearray | np.ndarray, *, lsb_first: bool = True) -> np.ndarray:
+    """Expand bytes into a bit array (LSB-first by default, as on air)."""
+    byte_arr = np.frombuffer(bytes(data), dtype=np.uint8)
+    bit_order = "little" if lsb_first else "big"
+    return np.unpackbits(byte_arr, bitorder=bit_order)
+
+
+def bytes_from_bits(bits: np.ndarray | list[int], *, lsb_first: bool = True) -> bytes:
+    """Pack a bit array back into bytes; length must be a multiple of 8."""
+    arr = _as_bits(bits)
+    if arr.size % 8:
+        raise ValueError(f"bit count {arr.size} is not a multiple of 8")
+    bit_order = "little" if lsb_first else "big"
+    return np.packbits(arr, bitorder=bit_order).tobytes()
+
+
+def bits_from_int(value: int, width: int, *, lsb_first: bool = True) -> np.ndarray:
+    """Expand an integer into ``width`` bits."""
+    if value < 0 or value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    bits = np.array([(value >> i) & 1 for i in range(width)], dtype=np.uint8)
+    return bits if lsb_first else bits[::-1]
+
+
+def int_from_bits(bits: np.ndarray | list[int], *, lsb_first: bool = True) -> int:
+    """Pack a bit array into an integer."""
+    arr = _as_bits(bits)
+    if not lsb_first:
+        arr = arr[::-1]
+    return int(sum(int(b) << i for i, b in enumerate(arr)))
+
+
+class Lfsr:
+    """Fibonacci LFSR over GF(2) with arbitrary taps.
+
+    ``taps`` are exponents of the feedback polynomial excluding the
+    constant term; e.g. the 802.11b scrambler polynomial
+    ``x^7 + x^4 + 1`` is ``Lfsr(taps=(7, 4), state=seed, width=7)``.
+    The output bit each step is the XOR of the tapped state bits
+    (state bit *i* holds the value delayed by *i+1* steps).
+    """
+
+    def __init__(self, taps: tuple[int, ...], state: int, width: int):
+        if not taps or max(taps) > width:
+            raise ValueError("taps must be non-empty and fit within width")
+        if state <= 0 or state >= (1 << width):
+            raise ValueError("state must be a non-zero value within width bits")
+        self.taps = taps
+        self.width = width
+        self.state = state
+
+    def next_bit(self) -> int:
+        """Advance one step and return the generated bit."""
+        out = 0
+        for t in self.taps:
+            out ^= (self.state >> (t - 1)) & 1
+        self.state = ((self.state << 1) | out) & ((1 << self.width) - 1)
+        return out
+
+    def sequence(self, n: int) -> np.ndarray:
+        """Generate ``n`` output bits."""
+        return np.array([self.next_bit() for _ in range(n)], dtype=np.uint8)
+
+
+def _crc_generic(bits: np.ndarray, poly: int, width: int, init: int) -> int:
+    """Bitwise CRC with MSB-first shifting over an LSB-first bit stream."""
+    reg = init
+    top = 1 << (width - 1)
+    mask = (1 << width) - 1
+    for b in bits:
+        fb = ((reg >> (width - 1)) & 1) ^ int(b)
+        reg = (reg << 1) & mask
+        if fb:
+            reg ^= poly & mask
+    return reg
+
+
+def crc32_80211(data_bits: np.ndarray | list[int]) -> np.ndarray:
+    """802.11 FCS CRC-32 over a bit array, returned as 32 bits (LSB first).
+
+    Standard CRC-32 (poly 0x04C11DB7, init all-ones, final complement,
+    reflected I/O).  Operates on bits so partially-filled frames can be
+    checked too.
+    """
+    arr = _as_bits(data_bits)
+    reg = 0xFFFFFFFF
+    for b in arr:
+        fb = (reg ^ int(b)) & 1
+        reg >>= 1
+        if fb:
+            reg ^= 0xEDB88320
+    reg ^= 0xFFFFFFFF
+    return bits_from_int(reg, 32)
+
+
+def crc16_ccitt(data_bits: np.ndarray | list[int], *, init: int = 0x0000) -> np.ndarray:
+    """CRC-16-CCITT (poly 0x1021) as used by IEEE 802.15.4, LSB-first bits."""
+    arr = _as_bits(data_bits)
+    # 802.15.4 processes LSB-first with a reflected implementation.
+    reg = init
+    for b in arr:
+        fb = (reg ^ int(b)) & 1
+        reg >>= 1
+        if fb:
+            reg ^= 0x8408  # reflected 0x1021
+    return bits_from_int(reg, 16)
+
+
+def crc16_80211b_plcp(header_bits: np.ndarray | list[int]) -> np.ndarray:
+    """802.11b PLCP header CRC-16 (CCITT, init all ones, complemented)."""
+    arr = _as_bits(header_bits)
+    reg = _crc_generic(arr, poly=0x1021, width=16, init=0xFFFF)
+    reg ^= 0xFFFF
+    # Transmitted MSB of the register first per 802.11-2016 figure 16-5.
+    return bits_from_int(reg, 16, lsb_first=False)
+
+
+def crc24_ble(data_bits: np.ndarray | list[int], *, init: int = 0x555555) -> np.ndarray:
+    """BLE CRC-24 (poly x^24+x^10+x^9+x^6+x^4+x^3+x+1), LSB-first output.
+
+    ``init`` is 0x555555 for advertising channel PDUs (Core Spec v5,
+    Vol 6 Part B §3.1.1).
+    """
+    arr = _as_bits(data_bits)
+    # BLE shifts LSB-first through the register; poly bits per spec.
+    poly = 0x00065B  # x^10+x^9+x^6+x^4+x^3+x+1 (x^24 implied)
+    reg = init
+    for b in arr:
+        fb = ((reg >> 23) & 1) ^ int(b)
+        reg = (reg << 1) & 0xFFFFFF
+        if fb:
+            reg ^= poly
+    # CRC transmitted MSB of register last -> LSB-first over 24 bits of
+    # the *reversed* register per spec transmission order.
+    return bits_from_int(reg, 24, lsb_first=False)
+
+
+def scramble_80211b(bits: np.ndarray | list[int], *, seed: int = 0x6C) -> np.ndarray:
+    """802.11b self-synchronizing scrambler (x^7 + x^4 + 1).
+
+    ``seed`` 0x6C is the initial register for long-preamble frames
+    (0x1B for short).  The scrambler output feeds back into the shift
+    register, so the descrambler is self-synchronizing.
+    """
+    arr = _as_bits(bits)
+    state = seed & 0x7F
+    out = np.empty_like(arr)
+    for i, b in enumerate(arr):
+        fb = ((state >> 3) & 1) ^ ((state >> 6) & 1)
+        s = int(b) ^ fb
+        out[i] = s
+        state = ((state << 1) | s) & 0x7F
+    return out
+
+
+def descramble_80211b(bits: np.ndarray | list[int], *, seed: int = 0x6C) -> np.ndarray:
+    """Inverse of :func:`scramble_80211b` (self-synchronizing form)."""
+    arr = _as_bits(bits)
+    state = seed & 0x7F
+    out = np.empty_like(arr)
+    for i, s in enumerate(arr):
+        fb = ((state >> 3) & 1) ^ ((state >> 6) & 1)
+        out[i] = int(s) ^ fb
+        state = ((state << 1) | int(s)) & 0x7F
+    return out
+
+
+def scramble_80211_frame(bits: np.ndarray | list[int], *, seed: int = 0x5D) -> np.ndarray:
+    """802.11a/g/n frame-synchronous scrambler (x^7 + x^4 + 1).
+
+    Unlike the 802.11b scrambler the register is free-running from
+    ``seed``; applying the function twice with the same seed is the
+    identity, so it serves as its own descrambler.
+    """
+    arr = _as_bits(bits)
+    lfsr = Lfsr(taps=(7, 4), state=seed & 0x7F, width=7)
+    return arr ^ lfsr.sequence(arr.size)
+
+
+def ble_whitening_sequence(channel: int, n: int) -> np.ndarray:
+    """BLE whitening sequence for ``channel`` (x^7 + x^4 + 1, seeded).
+
+    Register initialized to ``1 | channel`` per Core Spec Vol 6 Part B
+    §3.2: position 0 set to one, positions 1..6 the channel index MSB
+    first.
+    """
+    if not 0 <= channel <= 39:
+        raise ValueError(f"BLE channel must be 0..39, got {channel}")
+    # State bits: x6..x0; init x6=1, x5..x0 = channel bits b5..b0.
+    state = (1 << 6) | (channel & 0x3F)
+    out = np.empty(n, dtype=np.uint8)
+    for i in range(n):
+        b = state & 1  # x0 output
+        out[i] = b
+        state >>= 1
+        if b:
+            state ^= 0x44  # feed back into x6 and x2 (x^7 + x^4 + 1)
+    return out
+
+
+def whiten_ble(bits: np.ndarray | list[int], channel: int) -> np.ndarray:
+    """Apply (or remove -- it is an involution) BLE whitening."""
+    arr = _as_bits(bits)
+    return arr ^ ble_whitening_sequence(channel, arr.size)

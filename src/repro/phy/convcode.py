@@ -1,0 +1,120 @@
+"""IEEE 802.11 rate-1/2 binary convolutional code (K=7, g0=133, g1=171).
+
+The encoder here plus :mod:`repro.phy.viterbi` form the BCC pair used by
+the 802.11n data path at MCS0 (the only coded rate the paper's overlay
+modulation exercises).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "G0",
+    "G1",
+    "CONSTRAINT",
+    "ERASURE",
+    "PUNCTURE_PATTERNS",
+    "encode",
+    "expected_output_len",
+    "puncture",
+    "depuncture",
+    "depuncture_soft",
+]
+
+#: Marker for punctured positions fed to the Viterbi decoder.
+ERASURE = 2
+
+#: 802.11 puncturing patterns (§17.3.5.6): per coding-rate keep masks
+#: over the interleaved (A, B) output stream.
+PUNCTURE_PATTERNS: dict[str, tuple[int, ...]] = {
+    "1/2": (1, 1),
+    "2/3": (1, 1, 1, 0),
+    "3/4": (1, 1, 1, 0, 0, 1),
+    "5/6": (1, 1, 1, 0, 0, 1, 1, 0, 0, 1),
+}
+
+#: Generator polynomials, octal 133 / 171 per 802.11-2016 §17.3.5.6.
+G0 = 0o133
+G1 = 0o171
+CONSTRAINT = 7
+
+
+def _taps(poly: int) -> np.ndarray:
+    return np.array([(poly >> i) & 1 for i in range(CONSTRAINT)], dtype=np.uint8)
+
+
+_TAPS0 = _taps(G0)
+_TAPS1 = _taps(G1)
+
+
+def expected_output_len(n_input: int) -> int:
+    """Coded bits produced for ``n_input`` information bits (rate 1/2)."""
+    return 2 * n_input
+
+
+def puncture(coded: np.ndarray | list[int], rate: str) -> np.ndarray:
+    """Drop coded bits per the 802.11 pattern for ``rate``."""
+    if rate not in PUNCTURE_PATTERNS:
+        raise ValueError(f"unknown coding rate {rate!r}")
+    arr = np.asarray(coded, dtype=np.uint8)
+    pattern = np.array(PUNCTURE_PATTERNS[rate], dtype=bool)
+    mask = np.resize(pattern, arr.size)
+    return arr[mask]
+
+
+def depuncture(punctured: np.ndarray | list[int], rate: str) -> np.ndarray:
+    """Re-insert :data:`ERASURE` markers at the punctured positions."""
+    if rate not in PUNCTURE_PATTERNS:
+        raise ValueError(f"unknown coding rate {rate!r}")
+    arr = np.asarray(punctured, dtype=np.uint8)
+    pattern = np.array(PUNCTURE_PATTERNS[rate], dtype=bool)
+    keep_per_period = int(pattern.sum())
+    n_periods = int(np.ceil(arr.size / keep_per_period))
+    mask = np.resize(pattern, n_periods * pattern.size)
+    out = np.full(mask.size, ERASURE, dtype=np.uint8)
+    out[mask] = np.resize(arr, int(mask.sum()))[: int(mask.sum())]
+    # Trim to the exact number of original positions covered.
+    kept = np.cumsum(mask)
+    end = int(np.searchsorted(kept, arr.size)) + 1
+    return out[:end]
+
+
+def depuncture_soft(llrs: np.ndarray | list[float], rate: str) -> np.ndarray:
+    """Re-insert zero LLRs at the punctured positions (soft path)."""
+    if rate not in PUNCTURE_PATTERNS:
+        raise ValueError(f"unknown coding rate {rate!r}")
+    arr = np.asarray(llrs, dtype=float)
+    pattern = np.array(PUNCTURE_PATTERNS[rate], dtype=bool)
+    keep_per_period = int(pattern.sum())
+    n_periods = int(np.ceil(arr.size / keep_per_period))
+    mask = np.resize(pattern, n_periods * pattern.size)
+    out = np.zeros(mask.size, dtype=float)
+    filled = np.zeros(int(mask.sum()), dtype=float)
+    filled[: arr.size] = arr
+    out[mask] = filled
+    kept = np.cumsum(mask)
+    end = int(np.searchsorted(kept, arr.size)) + 1
+    return out[:end]
+
+
+def encode(bits: np.ndarray | list[int]) -> np.ndarray:
+    """Encode at rate 1/2; output interleaves (A, B) streams per input bit.
+
+    The shift register starts at all-zero as the standard requires (the
+    scrambled service field's leading zeros flush it in real frames).
+    """
+    arr = np.asarray(bits, dtype=np.uint8)
+    if arr.ndim != 1:
+        raise ValueError("bits must be 1-D")
+    out = np.empty(2 * arr.size, dtype=np.uint8)
+    # state holds the last 6 input bits, most recent in bit 0.
+    state = 0
+    for i, b in enumerate(arr):
+        window = (int(b) << 0) | (state << 1)  # current + 6 past bits
+        a = bin(window & G0).count("1") & 1
+        c = bin(window & G1).count("1") & 1
+        out[2 * i] = a
+        out[2 * i + 1] = c
+        state = window & 0x3F
+    return out

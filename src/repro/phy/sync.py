@@ -1,0 +1,190 @@
+"""Packet detection and timing synchronization.
+
+The PHY demodulators in this package take frame timing from waveform
+annotations (what a receiver knows *after* sync).  This module supplies
+the sync algorithms themselves, so receivers can find packets at
+unknown offsets in a sample stream:
+
+* :func:`detect_wifi_n` -- Schmidl&Cox L-STF autocorrelation for coarse
+  detection plus L-LTF cross-correlation for fine timing;
+* :func:`detect_wifi_b` -- Barker-despread energy plus SFD search;
+* :func:`detect_ble` -- preamble + access-address correlation against
+  the GFSK frequency track;
+* :func:`detect_zigbee` -- PN-symbol despreading and SFD search.
+
+Each returns the sample index where the frame starts (the first
+preamble sample), or ``None`` when no packet is found.  ``align``
+re-annotates a stream so the ordinary demodulators can run on it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy import ble as ble_mod
+from repro.phy import bits as bitlib
+from repro.phy import wifi_b as wifi_b_mod
+from repro.phy import wifi_n as wifi_n_mod
+from repro.phy import zigbee as zigbee_mod
+from repro.phy.protocols import Protocol
+from repro.phy.waveform import Waveform
+
+__all__ = [
+    "detect_wifi_n",
+    "detect_wifi_b",
+    "detect_ble",
+    "detect_zigbee",
+    "detect",
+    "align",
+]
+
+
+def detect_wifi_n(wave: Waveform, *, threshold: float = 0.75) -> int | None:
+    """Find an 802.11n frame via L-STF periodicity + L-LTF timing.
+
+    Schmidl&Cox metric: normalized autocorrelation at the 16-sample
+    L-STF period forms a plateau over the STF; the L-LTF
+    cross-correlation then pins the exact start.
+    """
+    x = wave.iq
+    period = 16
+    window = 128
+    if x.size < window + period + 160:
+        return None
+    corr = x[period:] * np.conj(x[:-period])
+    energy = np.abs(x[period:]) ** 2
+    num = np.abs(np.convolve(corr, np.ones(window), mode="valid"))
+    den = np.convolve(energy, np.ones(window), mode="valid")
+    metric = num / np.maximum(den, 1e-12)
+    candidates = np.flatnonzero(metric > threshold)
+    if candidates.size == 0:
+        return None
+    coarse = int(candidates[0])
+
+    # Fine timing: correlate the known L-LTF body within a window
+    # around the expected position (L-LTF starts 160 samples after the
+    # frame start; its 64-sample body begins 32 samples later).
+    ltf = wifi_n_mod._l_ltf()[32:96]
+    lo = max(coarse - 32, 0)
+    hi = min(coarse + 288, x.size - 64)
+    scores = np.zeros(max(hi - lo, 0))
+    for k, start in enumerate(range(lo, hi)):
+        seg = x[start : start + 64]
+        val = np.abs(np.vdot(ltf, seg))
+        norm = np.linalg.norm(seg) * np.linalg.norm(ltf)
+        scores[k] = val / max(norm, 1e-12)
+    if scores.size == 0 or scores.max() < 0.5:
+        return None
+    # The L-LTF body repeats (two 64-sample copies), so near-equal
+    # peaks appear 64 samples apart: take the earliest of the top band.
+    top = np.flatnonzero(scores >= 0.95 * scores.max())
+    best = lo + int(top[0])
+    return max(best - 192, 0)  # L-LTF body starts 160+32 into the frame
+
+
+def detect_wifi_b(wave: Waveform, *, threshold: float = 0.5) -> int | None:
+    """Find an 802.11b frame: Barker despread energy ramp + first
+    symbol peak."""
+    sps = int(round(wave.sample_rate / 11e6))
+    kernel = np.repeat(wifi_b_mod.BARKER11, sps)
+    kernel = kernel / np.linalg.norm(kernel)
+    corr = np.abs(np.convolve(wave.iq, kernel[::-1].conj(), mode="valid"))
+    if corr.size < 2 * kernel.size:
+        return None
+    peak = corr.max()
+    if peak < threshold * np.sqrt(kernel.size):
+        # Normalized check: require correlation well above the mean.
+        if peak < 4.0 * np.median(corr) or peak <= 0:
+            return None
+    strong = np.flatnonzero(corr > 0.5 * peak)
+    if strong.size == 0:
+        return None
+    # The first strong despread peak marks the end of symbol 0.
+    first_peak = int(strong[0])
+    start = first_peak - (kernel.size - 1)
+    # Snap to the symbol grid by searching +-half a symbol for the
+    # locally maximal peak.
+    sym = 11 * sps
+    lo = max(first_peak - sym // 2, 0)
+    hi = min(first_peak + sym // 2, corr.size)
+    refined = lo + int(np.argmax(corr[lo:hi]))
+    return max(refined - (kernel.size - 1), 0)
+
+
+def detect_ble(wave: Waveform, *, access_address: int | None = None) -> int | None:
+    """Find a BLE frame by correlating the NRZ preamble+AA pattern
+    against the discriminator output."""
+    aa = access_address if access_address is not None else ble_mod.ADVERTISING_ACCESS_ADDRESS
+    aa_bits = bitlib.bits_from_int(aa, 32)
+    preamble = np.array([0, 1, 0, 1, 0, 1, 0, 1], np.uint8)
+    if aa_bits[0] == 1:
+        preamble = 1 - preamble
+    pattern = np.concatenate([preamble, aa_bits]).astype(float) * 2.0 - 1.0
+
+    sps = int(round(wave.sample_rate / 1e6))
+    dphi = np.angle(wave.iq[1:] * np.conj(wave.iq[:-1]))
+    dphi = np.concatenate([[0.0], dphi])
+    # Power-gate the discriminator: silence produces full-scale random
+    # phase noise that would otherwise swamp the correlation.
+    power = np.abs(wave.iq) ** 2
+    gate = power / max(np.percentile(power, 95), 1e-12)
+    dphi = dphi * np.clip(gate, 0.0, 1.0)
+    kernel = np.repeat(pattern, sps)
+    kernel = kernel / np.linalg.norm(kernel)
+    corr = np.convolve(dphi, kernel[::-1], mode="valid")
+    if corr.size == 0:
+        return None
+    idx = int(np.argmax(corr))
+    norm = np.linalg.norm(dphi[idx : idx + kernel.size])
+    if norm <= 1e-12 or corr[idx] / norm < 0.6:
+        return None
+    return idx
+
+
+def detect_zigbee(wave: Waveform, *, min_preamble_symbols: int = 2) -> int | None:
+    """Find an 802.15.4 frame: correlate the zero-symbol PN waveform
+    over the SHR preamble."""
+    spc = int(round(wave.sample_rate / 2e6))
+    ref = zigbee_mod._oqpsk_waveform(zigbee_mod.PN_TABLE[0], zigbee_mod.ZigbeeConfig(samples_per_chip=spc))
+    kernel = ref / np.linalg.norm(ref)
+    corr = np.abs(np.convolve(wave.iq, kernel[::-1].conj(), mode="valid"))
+    if corr.size == 0:
+        return None
+    sym_len = zigbee_mod.CHIPS_PER_SYMBOL * spc
+    peak = corr.max()
+    if peak <= 1e-12:
+        return None
+    strong = np.flatnonzero(corr > 0.7 * peak)
+    if strong.size == 0:
+        return None
+    first = int(strong[0])
+    # Verify the preamble repeats at the symbol period.
+    repeats = sum(
+        1
+        for k in range(1, min_preamble_symbols + 1)
+        if first + k * sym_len < corr.size and corr[first + k * sym_len] > 0.5 * peak
+    )
+    if repeats < min_preamble_symbols:
+        return None
+    return first
+
+
+_DETECTORS = {
+    Protocol.WIFI_N: detect_wifi_n,
+    Protocol.WIFI_B: detect_wifi_b,
+    Protocol.BLE: detect_ble,
+    Protocol.ZIGBEE: detect_zigbee,
+}
+
+
+def detect(wave: Waveform, protocol: Protocol) -> int | None:
+    """Dispatch to the protocol's detector."""
+    return _DETECTORS[protocol](wave)
+
+
+def align(stream: Waveform, template: Waveform, start: int) -> Waveform:
+    """Cut ``stream`` at ``start`` and copy frame annotations from the
+    transmitted ``template`` so the standard demodulators can run."""
+    cut = stream.sliced(start)
+    cut.annotations = dict(template.annotations)
+    return cut

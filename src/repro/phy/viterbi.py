@@ -1,0 +1,150 @@
+"""Viterbi decoder for the 802.11 rate-1/2 K=7 convolutional code.
+
+Hard-decision decoding with full traceback; sized for the short frames
+the reproduction exercises (64-state trellis, vectorized across states
+per step).  Punctured positions (marked
+:data:`repro.phy.convcode.ERASURE` by ``depuncture``) contribute zero
+branch metric, which is how the rate-2/3 / 3/4 / 5/6 802.11n MCSs
+decode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy.convcode import CONSTRAINT, ERASURE, G0, G1
+
+__all__ = ["decode", "decode_soft"]
+
+_N_STATES = 1 << (CONSTRAINT - 1)  # 64
+
+
+def _build_tables() -> tuple[np.ndarray, np.ndarray]:
+    """Per (state, input) next-state and output-pair tables."""
+    next_state = np.empty((_N_STATES, 2), dtype=np.int64)
+    outputs = np.empty((_N_STATES, 2, 2), dtype=np.uint8)
+    for state in range(_N_STATES):
+        for b in (0, 1):
+            window = (b << 0) | (state << 1)
+            a = bin(window & G0).count("1") & 1
+            c = bin(window & G1).count("1") & 1
+            next_state[state, b] = window & (_N_STATES - 1)
+            outputs[state, b, 0] = a
+            outputs[state, b, 1] = c
+    return next_state, outputs
+
+
+_NEXT, _OUT = _build_tables()
+
+# Precompute, for each destination state, its two (prev_state, input)
+# predecessors -- makes the ACS step a pure gather.
+_PREV = np.full((_N_STATES, 2, 2), -1, dtype=np.int64)  # [dst, k] = (src, bit)
+for _s in range(_N_STATES):
+    for _b in (0, 1):
+        _dst = _NEXT[_s, _b]
+        slot = 0 if _PREV[_dst, 0, 0] == -1 else 1
+        _PREV[_dst, slot, 0] = _s
+        _PREV[_dst, slot, 1] = _b
+
+
+def decode(coded: np.ndarray | list[int], *, n_info: int | None = None) -> np.ndarray:
+    """Hard-decision Viterbi decode of a rate-1/2 coded stream.
+
+    ``coded`` holds interleaved (A, B) bits; ``n_info`` truncates the
+    decoded output (defaults to ``len(coded) // 2``).  The trellis is
+    assumed to start in state zero, matching
+    :func:`repro.phy.convcode.encode`; the end state is unconstrained.
+    """
+    arr = np.asarray(coded, dtype=np.uint8)
+    if arr.size % 2:
+        arr = np.concatenate([arr, np.array([ERASURE], dtype=np.uint8)])
+    n_steps = arr.size // 2
+    if n_info is None:
+        n_info = n_steps
+    if n_steps == 0:
+        return np.zeros(0, dtype=np.uint8)
+
+    pairs = arr.reshape(n_steps, 2)
+
+    metrics = np.full(_N_STATES, 1 << 30, dtype=np.int64)
+    metrics[0] = 0
+    # survivor[t, dst] = packed (prev_state << 1) | input_bit
+    survivor = np.empty((n_steps, _N_STATES), dtype=np.int64)
+
+    src0 = _PREV[:, 0, 0]
+    bit0 = _PREV[:, 0, 1]
+    src1 = _PREV[:, 1, 0]
+    bit1 = _PREV[:, 1, 1]
+    out0 = _OUT[src0, bit0]  # (64, 2) expected outputs via predecessor 0
+    out1 = _OUT[src1, bit1]
+
+    for t in range(n_steps):
+        rx = pairs[t]
+        w0 = 0 if rx[0] == ERASURE else 1
+        w1 = 0 if rx[1] == ERASURE else 1
+        branch0 = w0 * (out0[:, 0] != rx[0]).astype(np.int64) + w1 * (out0[:, 1] != rx[1])
+        branch1 = w0 * (out1[:, 0] != rx[0]).astype(np.int64) + w1 * (out1[:, 1] != rx[1])
+        cand0 = metrics[src0] + branch0
+        cand1 = metrics[src1] + branch1
+        take1 = cand1 < cand0
+        metrics = np.where(take1, cand1, cand0)
+        survivor[t] = np.where(
+            take1, (src1 << 1) | bit1, (src0 << 1) | bit0
+        )
+
+    state = int(np.argmin(metrics))
+    decoded = np.empty(n_steps, dtype=np.uint8)
+    for t in range(n_steps - 1, -1, -1):
+        packed = survivor[t, state]
+        decoded[t] = packed & 1
+        state = int(packed >> 1)
+    return decoded[:n_info]
+
+
+def decode_soft(llrs: np.ndarray, *, n_info: int | None = None) -> np.ndarray:
+    """Soft-decision Viterbi decode of a rate-1/2 LLR stream.
+
+    ``llrs`` holds per-coded-bit log-likelihood ratios (positive =
+    bit 1 more likely); punctured positions carry LLR 0, which costs
+    nothing either way -- so soft depuncturing is just zero insertion.
+    """
+    arr = np.asarray(llrs, dtype=float)
+    if arr.size % 2:
+        arr = np.concatenate([arr, [0.0]])
+    n_steps = arr.size // 2
+    if n_info is None:
+        n_info = n_steps
+    if n_steps == 0:
+        return np.zeros(0, dtype=np.uint8)
+    pairs = arr.reshape(n_steps, 2)
+
+    metrics = np.full(_N_STATES, 1e18)
+    metrics[0] = 0.0
+    survivor = np.empty((n_steps, _N_STATES), dtype=np.int64)
+
+    src0 = _PREV[:, 0, 0]
+    bit0 = _PREV[:, 0, 1]
+    src1 = _PREV[:, 1, 0]
+    bit1 = _PREV[:, 1, 1]
+    # Expected outputs in bipolar form (+1 for bit 1): branch cost is
+    # -expected * llr summed over the pair (max-log ML).
+    exp0 = 2.0 * _OUT[src0, bit0].astype(float) - 1.0
+    exp1 = 2.0 * _OUT[src1, bit1].astype(float) - 1.0
+
+    for t in range(n_steps):
+        rx = pairs[t]
+        branch0 = -(exp0[:, 0] * rx[0] + exp0[:, 1] * rx[1])
+        branch1 = -(exp1[:, 0] * rx[0] + exp1[:, 1] * rx[1])
+        cand0 = metrics[src0] + branch0
+        cand1 = metrics[src1] + branch1
+        take1 = cand1 < cand0
+        metrics = np.where(take1, cand1, cand0)
+        survivor[t] = np.where(take1, (src1 << 1) | bit1, (src0 << 1) | bit0)
+
+    state = int(np.argmin(metrics))
+    decoded = np.empty(n_steps, dtype=np.uint8)
+    for t in range(n_steps - 1, -1, -1):
+        packed = survivor[t, state]
+        decoded[t] = packed & 1
+        state = int(packed >> 1)
+    return decoded[:n_info]

@@ -1,0 +1,501 @@
+"""802.11b DSSS/CCK physical layer (complex baseband).
+
+Implements the long-preamble PLCP format of 802.11b-1999 at the rates
+the paper uses: 1 Mbps (DBPSK/Barker), 2 Mbps (DQPSK/Barker) and
+5.5 Mbps (CCK), plus a coherent software receiver.
+
+Structure on air (long preamble):
+
+* SYNC: 128 scrambled ones            (128 us @ 1 Mbps DBPSK)
+* SFD:  0xF3A0, LSB first             (16 us)
+* PLCP header: SIGNAL, SERVICE, LENGTH, CRC-16 (48 us @ 1 Mbps)
+* PSDU at the negotiated rate
+
+Everything before the PSDU always runs at 1 Mbps DBPSK with Barker
+spreading, which is what gives the protocol its distinctive 144 us
+packet-detection field (paper §2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.phy import bits as bitlib
+from repro.phy import pulse
+from repro.phy.protocols import Protocol
+from repro.phy.waveform import Waveform
+
+__all__ = [
+    "BARKER11",
+    "WifiBConfig",
+    "modulate",
+    "demodulate",
+    "build_psdu_symbols",
+    "demap_psdu_symbols",
+    "WifiBDecodeResult",
+]
+
+#: Barker-11 spreading sequence (+1/-1 chips), per 802.11-2016 §16.4.6.4.
+BARKER11 = np.array([1, -1, 1, 1, -1, 1, 1, 1, -1, -1, -1], dtype=float)
+
+#: SFD for the long preamble, transmitted LSB first (0xF3A0 -> 16 bits).
+_SFD_LONG = bitlib.bits_from_int(0xF3A0, 16)
+
+#: SFD for the short preamble: the long SFD time-reversed (0x05CF).
+_SFD_SHORT = bitlib.bits_from_int(0x05CF, 16)
+
+#: SIGNAL field values (rate in 100 kbps units).
+_SIGNAL_BY_RATE = {1.0: 0x0A, 2.0: 0x14, 5.5: 0x37, 11.0: 0x6E}
+_RATE_BY_SIGNAL = {v: k for k, v in _SIGNAL_BY_RATE.items()}
+
+#: DQPSK phase increments for dibits (d0, d1) per 802.11 Table 16-2.
+_DQPSK_PHASE = {(0, 0): 0.0, (0, 1): np.pi / 2, (1, 1): np.pi, (1, 0): 3 * np.pi / 2}
+
+#: CCK 5.5 Mbps phi2 choices indexed by bit d2 (phi2 = pi/2 + d2*pi).
+_CCK55_PHI2 = (np.pi / 2, 3 * np.pi / 2)
+
+#: CCK 11 Mbps QPSK mapping for the (phi2, phi3, phi4) dibit pairs.
+_CCK11_QPSK = {(0, 0): 0.0, (0, 1): np.pi / 2, (1, 0): np.pi, (1, 1): 3 * np.pi / 2}
+
+
+@dataclass(frozen=True)
+class WifiBConfig:
+    """Modulator configuration.
+
+    ``rate_mbps`` selects the PSDU rate (1, 2 or 5.5); the preamble and
+    header always run at 1 Mbps.  ``samples_per_chip`` sets the
+    oversampling of the 11 Mchip/s stream, so the sample rate is
+    ``11e6 * samples_per_chip``.  ``shaped`` applies RRC chip shaping
+    (needed for realistic envelopes at the tag's rectifier).
+    """
+
+    rate_mbps: float = 1.0
+    samples_per_chip: int = 2
+    shaped: bool = True
+    scrambler_seed: int | None = None
+    short_preamble: bool = False
+
+    @property
+    def sample_rate(self) -> float:
+        return 11e6 * self.samples_per_chip
+
+    @property
+    def seed(self) -> int:
+        """Scrambler seed: 0x6C for long-, 0x1B for short-preamble
+        frames unless overridden (802.11-2016 §16.2.4/§16.2.5)."""
+        if self.scrambler_seed is not None:
+            return self.scrambler_seed
+        return 0x1B if self.short_preamble else 0x6C
+
+    def __post_init__(self) -> None:
+        if self.rate_mbps not in (1.0, 2.0, 5.5, 11.0):
+            raise ValueError(f"unsupported 802.11b rate {self.rate_mbps}")
+        if self.samples_per_chip < 1:
+            raise ValueError("samples_per_chip must be >= 1")
+        if self.short_preamble and self.rate_mbps == 1.0:
+            raise ValueError("the short preamble excludes the 1 Mbps PSDU rate")
+
+
+# ----------------------------------------------------------------------
+# symbol-level mapping (shared by modulator and the overlay layer)
+# ----------------------------------------------------------------------
+def _dbpsk_phases(bits: np.ndarray, phase0: float = 0.0) -> np.ndarray:
+    """Differentially encode bits into absolute symbol phases."""
+    increments = np.where(np.asarray(bits, dtype=np.uint8) == 1, np.pi, 0.0)
+    return phase0 + np.cumsum(increments)
+
+
+def _dqpsk_phases(bits: np.ndarray, phase0: float = 0.0) -> np.ndarray:
+    """Differentially encode dibits into absolute symbol phases."""
+    arr = np.asarray(bits, dtype=np.uint8)
+    if arr.size % 2:
+        raise ValueError("DQPSK needs an even number of bits")
+    increments = np.array(
+        [_DQPSK_PHASE[(int(arr[i]), int(arr[i + 1]))] for i in range(0, arr.size, 2)]
+    )
+    return phase0 + np.cumsum(increments)
+
+
+def _barker_chips(phases: np.ndarray) -> np.ndarray:
+    """Spread one complex symbol per phase with Barker-11."""
+    symbols = np.exp(1j * phases)
+    return (symbols[:, None] * BARKER11[None, :]).ravel()
+
+
+def _cck55_chips(bits: np.ndarray, phase0: float) -> tuple[np.ndarray, float]:
+    """CCK 5.5 Mbps: 4 bits/symbol onto 8 complex chips.
+
+    Returns the chip array and the final cumulative phi1 so successive
+    calls stay differentially coherent.
+    """
+    arr = np.asarray(bits, dtype=np.uint8)
+    if arr.size % 4:
+        raise ValueError("CCK 5.5 needs a multiple of 4 bits")
+    chips = []
+    phi1 = phase0
+    for i in range(0, arr.size, 4):
+        d = arr[i : i + 4]
+        # (d0, d1) differentially encode phi1; even/odd symbol parity
+        # offset (pi on odd symbols) is omitted -- it cancels in our
+        # differential receiver and does not affect the envelope.
+        phi1 += _DQPSK_PHASE[(int(d[0]), int(d[1]))]
+        phi2 = _CCK55_PHI2[int(d[2])]
+        phi3 = 0.0
+        phi4 = int(d[3]) * np.pi
+        chips.append(_cck_codeword(phi1, phi2, phi3, phi4))
+    return np.concatenate(chips), phi1
+
+
+def _cck11_chips(bits: np.ndarray, phase0: float) -> tuple[np.ndarray, float]:
+    """CCK 11 Mbps: 8 bits/symbol onto 8 complex chips."""
+    arr = np.asarray(bits, dtype=np.uint8)
+    if arr.size % 8:
+        raise ValueError("CCK 11 needs a multiple of 8 bits")
+    chips = []
+    phi1 = phase0
+    for i in range(0, arr.size, 8):
+        d = arr[i : i + 8]
+        phi1 += _DQPSK_PHASE[(int(d[0]), int(d[1]))]
+        phi2 = _CCK11_QPSK[(int(d[2]), int(d[3]))] + np.pi / 2
+        phi3 = _CCK11_QPSK[(int(d[4]), int(d[5]))]
+        phi4 = _CCK11_QPSK[(int(d[6]), int(d[7]))]
+        chips.append(_cck_codeword(phi1, phi2, phi3, phi4))
+    return np.concatenate(chips), phi1
+
+
+def _cck_codeword(phi1: float, phi2: float, phi3: float, phi4: float) -> np.ndarray:
+    """The 8-chip CCK codeword per 802.11-2016 equation 16-1."""
+    e = np.exp
+    return np.array(
+        [
+            e(1j * (phi1 + phi2 + phi3 + phi4)),
+            e(1j * (phi1 + phi3 + phi4)),
+            e(1j * (phi1 + phi2 + phi4)),
+            -e(1j * (phi1 + phi4)),
+            e(1j * (phi1 + phi2 + phi3)),
+            e(1j * (phi1 + phi3)),
+            -e(1j * (phi1 + phi2)),
+            e(1j * phi1),
+        ]
+    )
+
+
+def _plcp_header_bits(rate_mbps: float, length_bytes: int) -> np.ndarray:
+    """SIGNAL + SERVICE + LENGTH + CRC16 (48 bits, pre-scrambling)."""
+    signal = bitlib.bits_from_int(_SIGNAL_BY_RATE[rate_mbps], 8)
+    service = bitlib.bits_from_int(0x00, 8)
+    duration_us = int(np.ceil(length_bytes * 8 / rate_mbps))
+    length = bitlib.bits_from_int(duration_us, 16)
+    head = np.concatenate([signal, service, length])
+    crc = bitlib.crc16_80211b_plcp(head)
+    return np.concatenate([head, crc])
+
+
+def build_psdu_symbols(payload_bits: np.ndarray, rate_mbps: float) -> int:
+    """Number of DSSS symbols the PSDU occupies at ``rate_mbps``."""
+    n = np.asarray(payload_bits).size
+    if rate_mbps == 1.0:
+        return n
+    if rate_mbps == 2.0:
+        return (n + 1) // 2
+    return (n + 3) // 4  # CCK 5.5
+
+
+# ----------------------------------------------------------------------
+# modulator
+# ----------------------------------------------------------------------
+def modulate(
+    payload: bytes | np.ndarray,
+    config: WifiBConfig | None = None,
+    *,
+    scrambled_domain: bool = False,
+) -> Waveform:
+    """Modulate a PSDU into an 802.11b complex-baseband waveform.
+
+    ``payload`` may be bytes or a bit array.  With
+    ``scrambled_domain=True`` the given bits are placed on air directly
+    (post-scrambler domain) -- this is what overlay-modulation carrier
+    crafting uses, because the tag operates on on-air symbols (see
+    :mod:`repro.core.overlay`); the pre-scrambler payload that a
+    commodity sender would be handed is recoverable via
+    :func:`repro.phy.bits.descramble_80211b`.
+    """
+    cfg = config or WifiBConfig()
+    if isinstance(payload, (bytes, bytearray)):
+        payload_bits = bitlib.bits_from_bytes(payload)
+    else:
+        payload_bits = np.asarray(payload, dtype=np.uint8)
+
+    if cfg.short_preamble:
+        sync = np.zeros(56, dtype=np.uint8)
+        sfd = _SFD_SHORT
+    else:
+        sync = np.ones(128, dtype=np.uint8)
+        sfd = _SFD_LONG
+    header = _plcp_header_bits(cfg.rate_mbps, (payload_bits.size + 7) // 8)
+    pre_scramble = np.concatenate([sync, sfd, header])
+
+    if scrambled_domain:
+        # Keep the preamble+header scrambled normally; splice payload
+        # bits into the on-air stream untouched.
+        scrambled_head = bitlib.scramble_80211b(pre_scramble, seed=cfg.seed)
+        onair_bits = np.concatenate([scrambled_head, payload_bits])
+    else:
+        onair_bits = bitlib.scramble_80211b(
+            np.concatenate([pre_scramble, payload_bits]), seed=cfg.seed
+        )
+
+    n_head = pre_scramble.size  # bits before the PSDU
+    head_bits = onair_bits[:n_head]
+    psdu_bits = onair_bits[n_head:]
+
+    if cfg.short_preamble:
+        # Short format: SYNC+SFD at 1 Mbps DBPSK, header at 2 Mbps DQPSK.
+        n_sync = sync.size + sfd.size
+        sync_phases = _dbpsk_phases(head_bits[:n_sync])
+        hdr_phases = _dqpsk_phases(head_bits[n_sync:], phase0=sync_phases[-1])
+        head_phases = np.concatenate([sync_phases, hdr_phases])
+    else:
+        head_phases = _dbpsk_phases(head_bits)
+    head_chips = _barker_chips(head_phases)
+    last_phase = head_phases[-1] if head_phases.size else 0.0
+
+    if cfg.rate_mbps == 1.0:
+        psdu_phases = _dbpsk_phases(psdu_bits, phase0=last_phase)
+        psdu_chips = _barker_chips(psdu_phases)
+        chips_per_symbol = 11
+    elif cfg.rate_mbps == 2.0:
+        if psdu_bits.size % 2:
+            psdu_bits = np.concatenate([psdu_bits, np.zeros(1, np.uint8)])
+        psdu_phases = _dqpsk_phases(psdu_bits, phase0=last_phase)
+        psdu_chips = _barker_chips(psdu_phases)
+        chips_per_symbol = 11
+    elif cfg.rate_mbps == 5.5:
+        pad = (-psdu_bits.size) % 4
+        if pad:
+            psdu_bits = np.concatenate([psdu_bits, np.zeros(pad, np.uint8)])
+        psdu_chips, _ = _cck55_chips(psdu_bits, phase0=last_phase)
+        chips_per_symbol = 8
+    else:  # CCK 11
+        pad = (-psdu_bits.size) % 8
+        if pad:
+            psdu_bits = np.concatenate([psdu_bits, np.zeros(pad, np.uint8)])
+        psdu_chips, _ = _cck11_chips(psdu_bits, phase0=last_phase)
+        chips_per_symbol = 8
+
+    chips = np.concatenate([head_chips, psdu_chips])
+    taps = pulse.rrc_taps(0.5, cfg.samples_per_chip) if cfg.shaped else None
+    iq = pulse.shape_chips(chips, cfg.samples_per_chip, taps)
+
+    payload_start = head_chips.size * cfg.samples_per_chip
+    return Waveform(
+        iq=iq,
+        sample_rate=cfg.sample_rate,
+        annotations={
+            "protocol": Protocol.WIFI_B,
+            "rate_mbps": cfg.rate_mbps,
+            "payload_start": payload_start,
+            "samples_per_symbol": chips_per_symbol * cfg.samples_per_chip,
+            "n_payload_symbols": psdu_chips.size // chips_per_symbol,
+            "payload_bits": psdu_bits.copy(),
+            "scrambler_seed": cfg.seed,
+            "short_preamble": cfg.short_preamble,
+            "n_head_bits": n_head,
+            "scrambled_domain": scrambled_domain,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# receiver
+# ----------------------------------------------------------------------
+@dataclass
+class WifiBDecodeResult:
+    """Receiver output: descrambled PSDU bits plus on-air symbol info."""
+
+    payload_bits: np.ndarray
+    onair_bits: np.ndarray
+    header_ok: bool
+    rate_mbps: float
+
+
+def _despread_barker(iq: np.ndarray, sps: int, n_symbols: int, start: int) -> np.ndarray:
+    """Correlate each 11-chip window with Barker; complex symbol values."""
+    chip_kernel = np.repeat(BARKER11, sps) / (11 * sps)
+    sym_len = 11 * sps
+    out = np.empty(n_symbols, complex)
+    for k in range(n_symbols):
+        seg = iq[start + k * sym_len : start + (k + 1) * sym_len]
+        if seg.size < sym_len:
+            seg = np.pad(seg, (0, sym_len - seg.size))
+        out[k] = np.dot(seg, chip_kernel)
+    return out
+
+
+def _diff_bits(symbols: np.ndarray, prev: complex) -> np.ndarray:
+    """DBPSK differential decision against the previous symbol."""
+    ref = np.concatenate([[prev], symbols[:-1]])
+    return (np.real(symbols * np.conj(ref)) < 0).astype(np.uint8)
+
+
+def _diff_dibits(symbols: np.ndarray, prev: complex) -> np.ndarray:
+    """DQPSK differential decision; returns interleaved (d0, d1) bits."""
+    ref = np.concatenate([[prev], symbols[:-1]])
+    rot = symbols * np.conj(ref)
+    phase = np.mod(np.angle(rot) + np.pi / 4, 2 * np.pi)
+    quadrant = (phase // (np.pi / 2)).astype(int)  # 0,1,2,3 -> 0,90,180,270
+    inv = {0: (0, 0), 1: (0, 1), 2: (1, 1), 3: (1, 0)}
+    bits = np.empty(symbols.size * 2, dtype=np.uint8)
+    for i, q in enumerate(quadrant):
+        bits[2 * i], bits[2 * i + 1] = inv[int(q)]
+    return bits
+
+
+def _cck11_decode(iq: np.ndarray, sps: int, n_symbols: int, start: int, prev: complex) -> np.ndarray:
+    """Differential-coherent CCK 11 Mbps demodulation (64-way search)."""
+    sym_len = 8 * sps
+    dibits = list(_CCK11_QPSK.items())
+    bits = np.empty(n_symbols * 8, dtype=np.uint8)
+    prev_sym = prev
+    for k in range(n_symbols):
+        seg = iq[start + k * sym_len : start + (k + 1) * sym_len]
+        if seg.size < sym_len:
+            seg = np.pad(seg, (0, sym_len - seg.size))
+        chips = seg.reshape(8, sps).mean(axis=1)
+        best = None
+        for (d23, p2) in dibits:
+            for (d45, p3) in dibits:
+                for (d67, p4) in dibits:
+                    cw = _cck_codeword(0.0, p2 + np.pi / 2, p3, p4)
+                    corr = np.vdot(cw, chips)
+                    if best is None or abs(corr) > abs(best[0]):
+                        best = (corr, d23, d45, d67)
+        corr, d23, d45, d67 = best
+        rot = corr * np.conj(prev_sym) if abs(prev_sym) else corr
+        phase = np.mod(np.angle(rot) + np.pi / 4, 2 * np.pi)
+        quadrant = int(phase // (np.pi / 2))
+        inv = {0: (0, 0), 1: (0, 1), 2: (1, 1), 3: (1, 0)}
+        d0, d1 = inv[quadrant]
+        bits[8 * k : 8 * k + 8] = (d0, d1, *d23, *d45, *d67)
+        prev_sym = corr
+    return bits
+
+
+def _cck55_decode(iq: np.ndarray, sps: int, n_symbols: int, start: int, prev: complex) -> np.ndarray:
+    """Differential-coherent CCK 5.5 demodulation."""
+    sym_len = 8 * sps
+    bits = np.empty(n_symbols * 4, dtype=np.uint8)
+    prev_sym = prev
+    for k in range(n_symbols):
+        seg = iq[start + k * sym_len : start + (k + 1) * sym_len]
+        if seg.size < sym_len:
+            seg = np.pad(seg, (0, sym_len - seg.size))
+        # Average to chip decisions.
+        chips = seg.reshape(8, sps).mean(axis=1)
+        best = None
+        for d2 in (0, 1):
+            for d3 in (0, 1):
+                cw = _cck_codeword(0.0, _CCK55_PHI2[d2], 0.0, d3 * np.pi)
+                corr = np.vdot(cw, chips)  # conj(cw) . chips
+                if best is None or abs(corr) > abs(best[0]):
+                    best = (corr, d2, d3)
+        corr, d2, d3 = best
+        # phi1 recovered from the correlation phase, differentially.
+        rot = corr * np.conj(prev_sym) if abs(prev_sym) else corr
+        phase = np.mod(np.angle(rot) + np.pi / 4, 2 * np.pi)
+        quadrant = int(phase // (np.pi / 2))
+        inv = {0: (0, 0), 1: (0, 1), 2: (1, 1), 3: (1, 0)}
+        d0, d1 = inv[quadrant]
+        bits[4 * k : 4 * k + 4] = (d0, d1, d2, d3)
+        prev_sym = corr
+    return bits
+
+
+def demodulate(
+    wave: Waveform,
+    *,
+    n_payload_bits: int | None = None,
+) -> WifiBDecodeResult:
+    """Commodity-receiver demodulation of an 802.11b waveform.
+
+    Uses the annotated frame timing (``payload_start``), as a hardware
+    receiver would after preamble synchronization, then performs real
+    despreading, differential decisions, and descrambling.  ``CRC``
+    checking is intentionally absent: the paper disables NIC CRC so raw
+    payload bits are delivered (§3 "the CRC functions of NICs are
+    turned off").
+    """
+    ann = wave.annotations
+    if ann.get("protocol") is not Protocol.WIFI_B:
+        raise ValueError("waveform is not annotated as 802.11b")
+    sps = ann["samples_per_symbol"] // (11 if ann["rate_mbps"] in (1.0, 2.0) else 8)
+    rate = ann["rate_mbps"]
+    payload_start = ann["payload_start"]
+    short = ann.get("short_preamble", False)
+    n_head_symbols = payload_start // (11 * sps)
+
+    head_syms = _despread_barker(wave.iq, sps, n_head_symbols, 0)
+    if short:
+        # SYNC(56) + SFD(16) at DBPSK, then 24 DQPSK header symbols.
+        n_sync = 72
+        sync_bits = _diff_bits(head_syms[1:n_sync], head_syms[0])
+        first_bit = np.uint8(np.real(head_syms[0]) < 0)
+        hdr_bits = _diff_dibits(head_syms[n_sync:], head_syms[n_sync - 1])
+        head_onair = np.concatenate([[first_bit], sync_bits, hdr_bits])
+        sync_len = n_sync
+    else:
+        head_onair = _diff_bits(head_syms[1:], head_syms[0])
+        first_bit = np.uint8(np.real(head_syms[0]) < 0)
+        head_onair = np.concatenate([[first_bit], head_onair])
+        sync_len = 144
+
+    n_sym = ann["n_payload_symbols"]
+    prev = head_syms[-1] if head_syms.size else 1.0 + 0j
+    if rate == 1.0:
+        syms = _despread_barker(wave.iq, sps, n_sym, payload_start)
+        psdu_onair = _diff_bits(syms, prev)
+    elif rate == 2.0:
+        syms = _despread_barker(wave.iq, sps, n_sym, payload_start)
+        psdu_onair = _diff_dibits(syms, prev)
+    elif rate == 5.5:
+        psdu_onair = _cck55_decode(wave.iq, sps, n_sym, payload_start, prev)
+    else:
+        psdu_onair = _cck11_decode(wave.iq, sps, n_sym, payload_start, prev)
+
+    onair = np.concatenate([head_onair, psdu_onair])
+    descrambled = bitlib.descramble_80211b(
+        onair, seed=ann.get("scrambler_seed", 0x6C)
+    )
+
+    n_head_bits = head_onair.size
+    header_bits = descrambled[sync_len:n_head_bits]
+    header_ok = bool(
+        header_bits.size == 48
+        and np.array_equal(
+            bitlib.crc16_80211b_plcp(header_bits[:32]), header_bits[32:48]
+        )
+    )
+    signal = bitlib.int_from_bits(header_bits[:8]) if header_bits.size == 48 else 0
+    decoded_rate = _RATE_BY_SIGNAL.get(signal, rate)
+
+    payload_bits = descrambled[n_head_bits:]
+    if n_payload_bits is not None:
+        payload_bits = payload_bits[:n_payload_bits]
+    return WifiBDecodeResult(
+        payload_bits=payload_bits,
+        onair_bits=psdu_onair,
+        header_ok=header_ok,
+        rate_mbps=decoded_rate,
+    )
+
+
+def demap_psdu_symbols(result: WifiBDecodeResult) -> np.ndarray:
+    """On-air (scrambled-domain) PSDU bits, one per DSSS symbol at 1 Mbps.
+
+    The overlay decoder works in this domain (paper §2.4: tag flips act
+    on on-air symbols; re-scrambling the received PSDU in host software
+    recovers them exactly, since scramble(descramble(x)) == x).
+    """
+    return result.onair_bits

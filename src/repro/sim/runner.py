@@ -1,0 +1,65 @@
+"""Monte-Carlo experiment runner.
+
+Small utility for experiments that repeat a trial function over seeded
+RNGs and aggregate scalar metrics -- keeps seeding policy (independent
+spawned streams) and aggregation consistent across the experiment
+modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["MonteCarlo", "TrialStats"]
+
+
+@dataclass
+class TrialStats:
+    """Aggregate of one scalar metric across trials."""
+
+    values: np.ndarray
+
+    @property
+    def mean(self) -> float:
+        return float(self.values.mean()) if self.values.size else float("nan")
+
+    @property
+    def std(self) -> float:
+        return float(self.values.std(ddof=1)) if self.values.size > 1 else 0.0
+
+    @property
+    def n(self) -> int:
+        return int(self.values.size)
+
+    def ci95_halfwidth(self) -> float:
+        """Normal-approximation 95% confidence half-width."""
+        if self.values.size < 2:
+            return 0.0
+        return float(1.96 * self.std / np.sqrt(self.values.size))
+
+
+@dataclass
+class MonteCarlo:
+    """Run ``trial(rng) -> dict[str, float]`` over independent streams.
+
+    Seeds are spawned from one root ``SeedSequence`` so trials are
+    independent yet the whole run is reproducible from ``seed``.
+    """
+
+    n_trials: int
+    seed: int = 0
+
+    def run(self, trial: Callable[[np.random.Generator], dict[str, float]]) -> dict[str, TrialStats]:
+        if self.n_trials < 1:
+            raise ValueError("n_trials must be >= 1")
+        root = np.random.SeedSequence(self.seed)
+        streams = [np.random.default_rng(s) for s in root.spawn(self.n_trials)]
+        collected: dict[str, list[float]] = {}
+        for rng in streams:
+            metrics = trial(rng)
+            for key, value in metrics.items():
+                collected.setdefault(key, []).append(float(value))
+        return {k: TrialStats(np.array(v)) for k, v in collected.items()}

@@ -1,0 +1,114 @@
+"""Deployment geometry: the paper's 30 m x 50 m floor (Fig 11b).
+
+Positions are 2-D coordinates in meters.  A :class:`Deployment` holds
+the excitation radio, tag, and receiver positions plus the walls
+between zones, and produces the per-link distances and occlusion
+losses the channel models consume -- so experiments can be phrased as
+"receiver at hallway position X" instead of raw distances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.channel.link import PROTOCOL_LINK_DEFAULTS, BackscatterLink
+from repro.phy.protocols import Protocol
+
+__all__ = ["Position", "Wall", "Deployment", "paper_floorplan"]
+
+
+@dataclass(frozen=True)
+class Position:
+    """A point on the floor, meters."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Position") -> float:
+        return float(np.hypot(self.x - other.x, self.y - other.y))
+
+
+@dataclass(frozen=True)
+class Wall:
+    """A wall segment with a penetration loss."""
+
+    a: Position
+    b: Position
+    loss_db: float = 1.8
+
+    def crosses(self, p: Position, q: Position) -> bool:
+        """Does segment p-q intersect this wall segment?"""
+
+        def orient(o: Position, u: Position, v: Position) -> float:
+            return (u.x - o.x) * (v.y - o.y) - (u.y - o.y) * (v.x - o.x)
+
+        d1 = orient(self.a, self.b, p)
+        d2 = orient(self.a, self.b, q)
+        d3 = orient(p, q, self.a)
+        d4 = orient(p, q, self.b)
+        return (d1 * d2 < 0) and (d3 * d4 < 0)
+
+
+@dataclass
+class Deployment:
+    """Placement of the three backscatter parties plus walls."""
+
+    transmitter: Position
+    tag: Position
+    receiver: Position
+    walls: list[Wall] = field(default_factory=list)
+
+    def d_tx_tag(self) -> float:
+        return self.transmitter.distance_to(self.tag)
+
+    def d_tag_rx(self) -> float:
+        return self.tag.distance_to(self.receiver)
+
+    def wall_loss_db(self, p: Position, q: Position) -> float:
+        """Total penetration loss on the p-q path."""
+        return float(sum(w.loss_db for w in self.walls if w.crosses(p, q)))
+
+    def is_nlos(self) -> bool:
+        """Does the tag-receiver path cross any wall?"""
+        return self.wall_loss_db(self.tag, self.receiver) > 0.0
+
+    def link(self, protocol: Protocol) -> BackscatterLink:
+        """The backscatter link this geometry implies."""
+        return BackscatterLink(
+            PROTOCOL_LINK_DEFAULTS[protocol],
+            d_tx_tag_m=max(self.d_tx_tag(), 0.05),
+            extra_loss_db=self.wall_loss_db(self.tag, self.receiver),
+        )
+
+    def with_receiver(self, receiver: Position) -> "Deployment":
+        return Deployment(
+            transmitter=self.transmitter,
+            tag=self.tag,
+            receiver=receiver,
+            walls=self.walls,
+        )
+
+
+def paper_floorplan(*, nlos: bool = False) -> Deployment:
+    """The paper's experimental layout (Fig 11b, idealized).
+
+    LoS: all devices in the hallway (a line along y=0).  NLoS: the
+    transmitter and tag sit in an office behind a wall at y=1, the
+    receiver stays in the hallway.
+    """
+    if not nlos:
+        return Deployment(
+            transmitter=Position(0.0, 0.0),
+            tag=Position(0.8, 0.0),
+            receiver=Position(10.8, 0.0),
+            walls=[],
+        )
+    wall = Wall(Position(-5.0, 1.0), Position(45.0, 1.0), loss_db=1.8)
+    return Deployment(
+        transmitter=Position(0.0, 2.0),
+        tag=Position(0.8, 2.0),
+        receiver=Position(10.8, 0.0),
+        walls=[wall],
+    )

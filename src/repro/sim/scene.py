@@ -1,0 +1,80 @@
+"""Composite RF scenes: several packets superimposed at the tag.
+
+The tag's front end has no channel filters (paper §4.1.4), so packets
+on different 2.4 GHz channels still add up in its envelope.  A scene
+is built in *antenna volts* (each packet scaled to its incident power
+before summation) and centered on the victim packet's channel, so the
+victim's envelope signature lines up with the identification
+templates; the interferer rides at its channel offset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.rectifier import incident_peak_voltage
+from repro.phy.waveform import Waveform
+
+__all__ = ["superimpose"]
+
+
+def superimpose(
+    victim: Waveform,
+    victim_dbm: float,
+    interferer: Waveform,
+    interferer_dbm: float,
+    *,
+    freq_offset_hz: float,
+    time_offset_s: float = 0.0,
+    scene_rate_hz: float = 50e6,
+    duration_s: float | None = None,
+) -> Waveform:
+    """Sum two packets into a prescaled scene (antenna volts).
+
+    ``freq_offset_hz`` is the interferer's channel center minus the
+    victim's; ``time_offset_s`` shifts the interferer start relative to
+    the victim start (negative = interferer started earlier).  The
+    result is meant for ``rectify(..., incident_power_dbm=None)`` /
+    ``identify(..., prescaled=True)``.
+    """
+    # Pad before resampling so the polyphase filter's edge transient
+    # falls in the padding, not on the packet head the templates match.
+    pad_v = 64
+    v = victim.padded(before=pad_v).resampled(scene_rate_hz)
+    pad_scaled = int(round(pad_v * scene_rate_hz / victim.sample_rate))
+    v = v.sliced(pad_scaled)
+    v.annotations = dict(victim.annotations)
+    i = interferer.padded(before=64).resampled(scene_rate_hz)
+    i = i.sliced(int(round(64 * scene_rate_hz / interferer.sample_rate)))
+
+    # Scale to unboosted antenna volts.
+    def to_volts(w: Waveform, dbm: float) -> np.ndarray:
+        rms = np.sqrt(w.mean_power())
+        if rms <= 0:
+            return w.iq
+        return w.iq / rms * incident_peak_voltage(dbm, matching_boost=1.0)
+
+    v_iq = to_volts(v, victim_dbm)
+    i_iq = to_volts(i, interferer_dbm)
+
+    if freq_offset_hz:
+        t = np.arange(i_iq.size) / scene_rate_hz
+        i_iq = i_iq * np.exp(2j * np.pi * freq_offset_hz * t)
+
+    n = v_iq.size if duration_s is None else int(duration_s * scene_rate_hz)
+    scene = np.zeros(n, dtype=complex)
+    scene[: min(v_iq.size, n)] = v_iq[:n]
+
+    shift = int(round(time_offset_s * scene_rate_hz))
+    src_lo = max(-shift, 0)
+    dst_lo = max(shift, 0)
+    span = min(i_iq.size - src_lo, n - dst_lo)
+    if span > 0:
+        scene[dst_lo : dst_lo + span] += i_iq[src_lo : src_lo + span]
+
+    ann = dict(v.annotations)
+    return Waveform(
+        iq=scene,
+        sample_rate=scene_rate_hz,
+        annotations=ann,
+    )

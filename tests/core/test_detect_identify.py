@@ -1,0 +1,74 @@
+"""Tests for tag-side envelope-edge packet detection (§2.3 note 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.identification import (
+    DEFAULT_INCIDENT_DBM,
+    IdentificationConfig,
+    ProtocolIdentifier,
+)
+from repro.phy.protocols import Protocol
+from repro.phy.waveform import Waveform
+from repro.sim.traffic import random_packet
+
+
+@pytest.fixture(scope="module")
+def identifier():
+    return ProtocolIdentifier(
+        IdentificationConfig(
+            sample_rate_hz=2.5e6, quantized=True, window_us=38.0, ordered=True
+        )
+    )
+
+
+class TestDetectAndIdentify:
+    def test_finds_edge_within_samples(self, identifier):
+        rng = np.random.default_rng(0)
+        wave = random_packet(Protocol.ZIGBEE, rng, n_payload_bytes=20)
+        pad_adc = 150
+        pad = int(pad_adc * wave.sample_rate / 2.5e6)
+        stream = wave.padded(before=pad, after=200)
+        res = identifier.detect_and_identify(
+            stream,
+            incident_power_dbm=DEFAULT_INCIDENT_DBM[Protocol.ZIGBEE],
+            rng=np.random.default_rng(1),
+        )
+        assert res is not None
+        start, result = res
+        assert abs(start - pad_adc) <= 4
+        assert result.decision is Protocol.ZIGBEE
+
+    def test_mostly_correct_over_mixed_traffic(self, identifier):
+        rng = np.random.default_rng(2)
+        hits = 0
+        total = 0
+        for p in Protocol:
+            for i in range(4):
+                wave = random_packet(p, rng, n_payload_bytes=30)
+                pad = int(rng.integers(20, 300) * wave.sample_rate / 2.5e6)
+                stream = wave.padded(before=pad, after=100)
+                res = identifier.detect_and_identify(
+                    stream,
+                    incident_power_dbm=DEFAULT_INCIDENT_DBM[p],
+                    rng=np.random.default_rng(100 + total),
+                )
+                hits += res is not None and res[1].decision is p
+                total += 1
+        assert hits / total > 0.6
+
+    def test_silence_returns_none(self, identifier):
+        stream = Waveform.silence(2000, 2.5e6)
+        res = identifier.detect_and_identify(
+            stream, incident_power_dbm=-40.0, rng=np.random.default_rng(3)
+        )
+        assert res is None
+
+    def test_too_short_stream_returns_none(self, identifier):
+        stream = Waveform.silence(20, 2.5e6)
+        assert (
+            identifier.detect_and_identify(
+                stream, incident_power_dbm=-20.0, rng=np.random.default_rng(4)
+            )
+            is None
+        )

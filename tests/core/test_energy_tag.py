@@ -1,0 +1,107 @@
+"""Tests for the energy-gated tag lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.core.energy import EnergyBudget
+from repro.core.energy_tag import EnergyAwareTag
+from repro.core.tag import SingleProtocolTag
+from repro.phy.protocols import Protocol
+from repro.sim.traffic import ExcitationSchedule, ExcitationSource
+
+
+def _make(lux=500.0, start_full=True):
+    return EnergyAwareTag(
+        SingleProtocolTag(Protocol.WIFI_B),
+        budget=EnergyBudget(),
+        lux=lux,
+        start_full=start_full,
+    )
+
+
+def _schedule(rate=100.0, duration=1.0, seed=0):
+    rng = np.random.default_rng(seed)
+    src = ExcitationSource(Protocol.WIFI_B, rate_pkts=rate, n_payload_bytes=100)
+    return ExcitationSchedule.generate([src], duration, rng)
+
+
+class TestChargeState:
+    def test_full_tag_reacts(self):
+        tag = _make()
+        assert tag.can_react(0.0, 1e-3)
+
+    def test_empty_tag_is_dark(self):
+        tag = _make(start_full=False)
+        assert not tag.can_react(0.0, 1e-3)
+
+    def test_empty_tag_recharges_indoor(self):
+        tag = _make(start_full=False)
+        # Indoor recharge takes ~216 s (Table 4).
+        assert not tag.can_react(100.0, 1e-3)
+        assert tag.can_react(220.0, 1e-3)
+
+    def test_outdoor_recharges_fast(self):
+        tag = _make(lux=1.04e5, start_full=False)
+        assert tag.can_react(1.0, 1e-3)
+
+    def test_depletion_enters_charging(self):
+        tag = _make()
+        # Burn the whole 50 mJ with one enormous fake airtime.
+        runtime = tag.budget.runtime_per_charge_s
+        tag._advance(0.0)
+        tag.stored_j = tag.active_power_w * 1e-3  # nearly flat
+        assert tag.can_react(0.0, 1e-3)
+        tag.stored_j = 0.0
+        tag._charging = True
+        assert not tag.can_react(0.001, 1e-3)
+        assert runtime == pytest.approx(0.18, abs=0.01)
+
+
+class TestTimeline:
+    def test_indoor_timeline_mostly_dark(self):
+        tag = _make(lux=500.0, start_full=False)
+        timeline = tag.timeline(_schedule(rate=100.0, duration=10.0))
+        # 10 s indoor: one recharge takes 216 s, so nothing happens.
+        assert timeline.n_reacted == 0
+
+    def test_full_charge_supports_runtime_of_packets(self):
+        tag = _make(lux=500.0, start_full=True)
+        timeline = tag.timeline(_schedule(rate=200.0, duration=5.0))
+        # One 50 mJ charge at 279.5 mW buys ~0.18 s of airtime; 100-byte
+        # 802.11b packets last ~0.99 ms, so ~180 packets fit before the
+        # tag goes dark (indoor recharge takes far longer than 5 s).
+        assert 150 <= timeline.n_reacted <= 220
+        # The first packets get served, later ones find the tag dark.
+        assert timeline.reacted[0]
+        assert not timeline.reacted[-1]
+
+    def test_outdoor_keeps_duty_high(self):
+        indoor = _make(lux=500.0).timeline(_schedule(rate=50.0, duration=20.0))
+        outdoor = _make(lux=1.04e5).timeline(_schedule(rate=50.0, duration=20.0, seed=1))
+        assert outdoor.duty_cycle > indoor.duty_cycle
+
+    def test_stored_energy_never_negative_or_overfull(self):
+        tag = _make(lux=1e4, start_full=True)
+        timeline = tag.timeline(_schedule(rate=300.0, duration=10.0))
+        arr = np.array(timeline.stored_j)
+        assert (arr >= -1e-12).all()
+        assert (arr <= tag.budget.capacitor.usable_energy_j + 1e-12).all()
+
+
+class TestReactIntegration:
+    def test_react_returns_none_when_dark(self):
+        from repro.sim.traffic import random_packet
+
+        tag = _make(start_full=False)
+        wave = random_packet(Protocol.WIFI_B, np.random.default_rng(0), n_payload_bytes=10)
+        assert tag.react(0.0, wave, [1, 0]) is None
+
+    def test_react_consumes_energy(self):
+        from repro.sim.traffic import random_packet
+
+        tag = _make(start_full=True)
+        wave = random_packet(Protocol.WIFI_B, np.random.default_rng(0), n_payload_bytes=10)
+        before = tag.stored_j
+        reaction = tag.react(0.0, wave, [1, 0])
+        assert reaction is not None
+        assert tag.stored_j < before

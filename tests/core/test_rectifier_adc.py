@@ -1,0 +1,152 @@
+"""Tests for the rectifier front ends and the tag ADC."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adc import Adc
+from repro.core.rectifier import (
+    BasicRectifier,
+    ClampRectifier,
+    RectifierOutput,
+    WispRectifier,
+    incident_peak_voltage,
+    recommended_tau,
+)
+from repro.phy import wifi_b
+from repro.phy.waveform import Waveform
+
+
+def _tone(n=2000, fs=22e6):
+    return Waveform(np.ones(n, complex), fs)
+
+
+class TestVoltageScale:
+    def test_incident_voltage_increases_with_power(self):
+        assert incident_peak_voltage(-10) > incident_peak_voltage(-20)
+
+    def test_known_value(self):
+        # -10 dBm = 0.1 mW -> sqrt(2 * 1e-4 * 50) = 0.1 V before boost.
+        assert incident_peak_voltage(-10, matching_boost=1.0) == pytest.approx(0.1)
+
+    def test_recommended_tau_between_bounds(self):
+        tau = recommended_tau(2.4e9, 20e6)
+        assert 1 / 2.4e9 < tau < 1 / 20e6
+
+    def test_recommended_tau_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            recommended_tau(1e6, 2e6)
+
+
+class TestRectifiers:
+    def test_clamp_beats_basic_at_low_power(self):
+        """Fig 4a: the clamp circuit produces usable output where the
+        basic rectifier's diode never turns on."""
+        basic = BasicRectifier(noise_v_rms=0.0)
+        clamp = ClampRectifier(noise_v_rms=0.0)
+        weak = -20.0
+        assert clamp.output_for_constant_input(weak) > 0.0
+        assert basic.output_for_constant_input(weak) == 0.0
+
+    def test_wisp_output_higher_than_clamp(self):
+        # Fig 4b: ours trades output voltage for bandwidth.
+        wisp = WispRectifier(noise_v_rms=0.0)
+        clamp = ClampRectifier(noise_v_rms=0.0)
+        strong = 0.0
+        assert wisp.output_for_constant_input(strong) > clamp.output_for_constant_input(strong)
+
+    def test_wisp_smears_80211b_envelope(self):
+        """Fig 4b: the WISP RC constant is tuned for RFID rates, so the
+        11 Mchip/s DSSS envelope ripple is flattened; ours tracks it."""
+        wave = wifi_b.modulate(b"\x5a" * 8)
+        wisp = WispRectifier(noise_v_rms=0.0)
+        ours = ClampRectifier(noise_v_rms=0.0)
+        seg = slice(1000, 4000)
+        out_wisp = wisp.rectify(wave, -10.0).voltage[seg]
+        out_ours = ours.rectify(wave, -10.0).voltage[seg]
+        ripple_wisp = out_wisp.std() / max(out_wisp.mean(), 1e-12)
+        ripple_ours = out_ours.std() / max(out_ours.mean(), 1e-12)
+        assert ripple_ours > 3 * ripple_wisp
+
+    def test_output_scales_with_power(self):
+        clamp = ClampRectifier(noise_v_rms=0.0)
+        lo = clamp.rectify(_tone(), -20.0).mean_v
+        hi = clamp.rectify(_tone(), -10.0).mean_v
+        assert hi > lo > 0
+
+    def test_noise_adds_variance(self):
+        quiet = ClampRectifier(noise_v_rms=0.0).rectify(_tone(), -10.0)
+        noisy = ClampRectifier(noise_v_rms=5e-3).rectify(
+            _tone(), -10.0, rng=np.random.default_rng(0)
+        )
+        assert noisy.voltage.std() > quiet.voltage.std()
+
+    def test_silence_gives_noise_only(self):
+        clamp = ClampRectifier(noise_v_rms=1e-3)
+        out = clamp.rectify(
+            Waveform.silence(500, 22e6), -10.0, rng=np.random.default_rng(0)
+        )
+        assert abs(out.mean_v) < 5e-4
+
+    def test_fm_to_am_creates_ripple_on_constant_envelope(self):
+        from repro.phy import ble
+
+        wave = ble.modulate(b"\xb7\x55" * 4)
+        clamp = ClampRectifier(noise_v_rms=0.0)
+        out = clamp.rectify(wave, -10.0).voltage[200:-200]
+        assert out.std() / out.mean() > 0.02
+
+
+class TestAdc:
+    def _analog(self, n=4000, fs=20e6, f_sig=100e3):
+        t = np.arange(n) / fs
+        v = 0.1 + 0.05 * np.sin(2 * np.pi * f_sig * t)
+        return RectifierOutput(voltage=v, sample_rate=fs)
+
+    def test_codes_within_range(self):
+        cap = Adc(n_bits=9).capture(self._analog())
+        assert cap.codes.min() >= 0
+        assert cap.codes.max() <= 511
+
+    def test_volts_round_trip(self):
+        adc = Adc(n_bits=12, v_ref=0.5)
+        cap = adc.capture(self._analog())
+        # 12-bit quantization error is tiny at this scale.
+        expected = adc._bandlimit(self._analog())
+        assert np.abs(cap.volts()[100:500] - expected[100:500]).max() < 2e-3
+
+    def test_downsampling_rate(self):
+        analog = self._analog(n=20000)
+        cap = Adc(sample_rate=2.5e6).capture(analog)
+        assert cap.codes.size == pytest.approx(20000 / 8, abs=2)
+
+    def test_vref_tuning_uses_more_codes(self):
+        analog = self._analog()
+        wide = Adc(v_ref=1.0).capture(analog)
+        tuned = Adc(v_ref=1.0).tuned_to(0.16).capture(analog)
+        assert len(np.unique(tuned.codes)) > len(np.unique(wide.codes))
+
+    def test_phase_offsets_sampling_grid(self):
+        analog = self._analog()
+        a = Adc(sample_rate=2e6, antialias=False).capture(analog, phase_s=0.0)
+        b = Adc(sample_rate=2e6, antialias=False).capture(analog, phase_s=2.5e-7)
+        assert not np.array_equal(a.codes, b.codes)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            Adc(sample_rate=0)
+        with pytest.raises(ValueError):
+            Adc(n_bits=0)
+        with pytest.raises(ValueError):
+            Adc().tuned_to(-1.0)
+
+    @given(st.integers(2, 12))
+    @settings(max_examples=8, deadline=None)
+    def test_more_bits_reduce_quantization_error(self, bits):
+        analog = self._analog()
+        adc_lo = Adc(n_bits=2, antialias=False)
+        adc_hi = Adc(n_bits=bits, antialias=False)
+        err_lo = np.abs(adc_lo.capture(analog).volts() - analog.voltage).mean()
+        err_hi = np.abs(adc_hi.capture(analog).volts() - analog.voltage).mean()
+        assert err_hi <= err_lo + 1e-9

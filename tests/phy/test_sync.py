@@ -1,0 +1,92 @@
+"""Tests for packet detection / timing synchronization."""
+
+import numpy as np
+import pytest
+
+from repro.phy import ble, sync, wifi_b, wifi_n, zigbee
+from repro.phy import bits as bitlib
+from repro.phy.protocols import Protocol
+from repro.phy.waveform import Waveform
+from repro.sim.traffic import random_packet
+
+
+def _embed(wave, pad_before, pad_after=200, noise=0.0, seed=0):
+    """Place a packet at a known offset in a noisy stream."""
+    rng = np.random.default_rng(seed)
+    padded = wave.padded(before=pad_before, after=pad_after)
+    if noise > 0:
+        padded.iq = padded.iq + noise * (
+            rng.normal(size=padded.n_samples) + 1j * rng.normal(size=padded.n_samples)
+        )
+    return padded
+
+
+class TestDetectors:
+    @pytest.mark.parametrize("offset", [0, 137, 500])
+    def test_wifi_n_detection(self, offset):
+        wave = wifi_n.modulate(bytes(range(20)))
+        stream = _embed(wave, offset, noise=0.02)
+        found = sync.detect_wifi_n(stream)
+        assert found is not None
+        assert abs(found - offset) <= 4
+
+    @pytest.mark.parametrize("offset", [0, 333])
+    def test_wifi_b_detection(self, offset):
+        wave = wifi_b.modulate(bytes(range(8)))
+        stream = _embed(wave, offset, noise=0.02)
+        found = sync.detect_wifi_b(stream)
+        assert found is not None
+        # Barker sync snaps to the symbol grid (11 chips x 2 samples).
+        assert abs(found - offset) <= 22
+
+    @pytest.mark.parametrize("offset", [0, 97])
+    def test_ble_detection(self, offset):
+        wave = ble.modulate(b"\x42" * 8)
+        stream = _embed(wave, offset, noise=0.02)
+        found = sync.detect_ble(stream)
+        assert found is not None
+        assert abs(found - offset) <= 4
+
+    @pytest.mark.parametrize("offset", [0, 211])
+    def test_zigbee_detection(self, offset):
+        wave = zigbee.modulate(bytes(range(6)))
+        stream = _embed(wave, offset, noise=0.05)
+        found = sync.detect_zigbee(stream)
+        assert found is not None
+        assert abs(found - offset) <= 8
+
+    def test_noise_only_returns_none(self):
+        rng = np.random.default_rng(1)
+        noise = Waveform(
+            0.1 * (rng.normal(size=8000) + 1j * rng.normal(size=8000)), 20e6
+        )
+        assert sync.detect_wifi_n(noise) is None
+        assert sync.detect_ble(
+            Waveform(noise.iq[:4000], 8e6)
+        ) is None
+
+    def test_dispatch_table(self):
+        for p in Protocol:
+            wave = random_packet(p, np.random.default_rng(0), n_payload_bytes=10)
+            found = sync.detect(wave.padded(before=50, after=50), p)
+            assert found is not None
+
+
+class TestEndToEndWithSync:
+    def test_wifi_n_decode_after_detection(self):
+        payload = bytes(range(18))
+        wave = wifi_n.modulate(payload)
+        stream = _embed(wave, 250, noise=0.02, seed=3)
+        start = sync.detect_wifi_n(stream)
+        aligned = sync.align(stream, wave, start)
+        result = wifi_n.demodulate(aligned, n_psdu_bits=len(payload) * 8)
+        assert bitlib.bytes_from_bits(result.psdu_bits) == payload
+
+    def test_ble_decode_after_detection(self):
+        payload = b"\x13\x37\xc0\xde"
+        wave = ble.modulate(payload)
+        stream = _embed(wave, 123, noise=0.02, seed=4)
+        start = sync.detect_ble(stream)
+        aligned = sync.align(stream, wave, start)
+        result = ble.demodulate(aligned)
+        assert bitlib.bytes_from_bits(result.payload_bits) == payload

@@ -1,0 +1,71 @@
+"""Tests for the legacy 802.11a/g OFDM modem."""
+
+import numpy as np
+import pytest
+
+from repro.phy import bits as bitlib
+from repro.phy import wifi_a
+
+
+class TestLegacyOfdm:
+    @pytest.mark.parametrize("rate", sorted(wifi_a.RATE_TABLE))
+    def test_loopback(self, rate):
+        payload = bytes(range(48))
+        wave = wifi_a.modulate(payload, wifi_a.WifiAConfig(rate_mbps=rate))
+        psdu = wifi_a.demodulate(wave, n_psdu_bits=len(payload) * 8)
+        assert bitlib.bytes_from_bits(psdu) == payload
+
+    def test_preamble_is_20us(self):
+        wave = wifi_a.modulate(b"\x00" * 8)
+        # L-STF + L-LTF + L-SIG = 160 + 160 + 80 samples at 20 Msps.
+        assert wave.annotations["payload_start"] == 400
+
+    def test_rejects_unknown_rate(self):
+        with pytest.raises(ValueError):
+            wifi_a.WifiAConfig(rate_mbps=11.0)
+
+    def test_rate_ladder_symbol_counts(self):
+        payload = b"\xa5" * 100
+        syms = [
+            wifi_a.modulate(payload, wifi_a.WifiAConfig(rate_mbps=r)).annotations[
+                "n_payload_symbols"
+            ]
+            for r in sorted(wifi_a.RATE_TABLE)
+        ]
+        assert all(a >= b for a, b in zip(syms, syms[1:]))
+
+    def test_loopback_with_noise(self):
+        rng = np.random.default_rng(0)
+        payload = bytes(range(24))
+        wave = wifi_a.modulate(payload, wifi_a.WifiAConfig(rate_mbps=12.0))
+        wave.iq = wave.iq + 0.04 * (
+            rng.normal(size=wave.n_samples) + 1j * rng.normal(size=wave.n_samples)
+        )
+        psdu = wifi_a.demodulate(wave, n_psdu_bits=len(payload) * 8)
+        assert bitlib.bytes_from_bits(psdu) == payload
+
+    def test_n_dbps_matches_standard(self):
+        # 802.11-2016 Table 17-4: N_DBPS for 6..54 Mbps.
+        expected = {6.0: 24, 9.0: 36, 12.0: 48, 18.0: 72,
+                    24.0: 96, 36.0: 144, 48.0: 192, 54.0: 216}
+        for rate, dbps in expected.items():
+            assert wifi_a.WifiAConfig(rate_mbps=rate).n_dbps == dbps
+
+    def test_identifiable_as_ofdm_family(self):
+        # The tag's templates treat all OFDM WiFi alike (footnote 5):
+        # a legacy frame shares the L-STF/L-LTF head, so the 802.11n
+        # identification template matches it.
+        from repro.core.identification import (
+            IdentificationConfig,
+            ProtocolIdentifier,
+        )
+        from repro.phy.protocols import Protocol
+
+        ident = ProtocolIdentifier(
+            IdentificationConfig(sample_rate_hz=20e6, window_us=6.0)
+        )
+        wave = wifi_a.modulate(bytes(range(40)), wifi_a.WifiAConfig(rate_mbps=6.0))
+        result = ident.identify(
+            wave, incident_power_dbm=-21.2, rng=np.random.default_rng(1)
+        )
+        assert result.decision is Protocol.WIFI_N

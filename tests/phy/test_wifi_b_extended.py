@@ -1,0 +1,100 @@
+"""Tests for the 802.11b extensions: short preamble and CCK 11 Mbps."""
+
+import numpy as np
+import pytest
+
+from repro.phy import bits as bitlib
+from repro.phy import wifi_b
+
+
+class TestShortPreamble:
+    def test_duration_96us(self):
+        # Short format: 56+16 bits at 1 Mbps + 24 DQPSK header symbols
+        # = 96 us before the PSDU (vs 192 us long).
+        wave = wifi_b.modulate(b"\x00" * 4, wifi_b.WifiBConfig(rate_mbps=2.0, short_preamble=True))
+        head_us = wave.annotations["payload_start"] / wave.sample_rate * 1e6
+        assert head_us == pytest.approx(96.0)
+
+    def test_scrambler_seed_0x1b(self):
+        cfg = wifi_b.WifiBConfig(rate_mbps=2.0, short_preamble=True)
+        assert cfg.seed == 0x1B
+        assert wifi_b.WifiBConfig().seed == 0x6C
+
+    @pytest.mark.parametrize("rate", [2.0, 5.5, 11.0])
+    def test_loopback(self, rate):
+        payload = bytes(range(20))
+        cfg = wifi_b.WifiBConfig(rate_mbps=rate, short_preamble=True)
+        result = wifi_b.demodulate(
+            wifi_b.modulate(payload, cfg), n_payload_bits=len(payload) * 8
+        )
+        assert result.header_ok
+        assert bitlib.bytes_from_bits(result.payload_bits) == payload
+
+    def test_shorter_airtime_than_long(self):
+        payload = b"\xaa" * 16
+        long_wave = wifi_b.modulate(payload, wifi_b.WifiBConfig(rate_mbps=2.0))
+        short_wave = wifi_b.modulate(
+            payload, wifi_b.WifiBConfig(rate_mbps=2.0, short_preamble=True)
+        )
+        assert short_wave.n_samples < long_wave.n_samples
+
+
+class TestCck11:
+    def test_loopback(self):
+        payload = bytes(range(32))
+        cfg = wifi_b.WifiBConfig(rate_mbps=11.0)
+        result = wifi_b.demodulate(
+            wifi_b.modulate(payload, cfg), n_payload_bits=len(payload) * 8
+        )
+        assert result.header_ok
+        assert result.rate_mbps == 11.0
+        assert bitlib.bytes_from_bits(result.payload_bits) == payload
+
+    def test_8_bits_per_symbol(self):
+        payload = b"\x00" * 16  # 128 bits
+        wave = wifi_b.modulate(payload, wifi_b.WifiBConfig(rate_mbps=11.0))
+        assert wave.annotations["n_payload_symbols"] == 16
+
+    def test_loopback_with_noise(self):
+        rng = np.random.default_rng(0)
+        payload = bytes(range(16))
+        wave = wifi_b.modulate(payload, wifi_b.WifiBConfig(rate_mbps=11.0))
+        wave.iq = wave.iq + 0.04 * (
+            rng.normal(size=wave.n_samples) + 1j * rng.normal(size=wave.n_samples)
+        )
+        result = wifi_b.demodulate(wave, n_payload_bits=len(payload) * 8)
+        assert bitlib.bytes_from_bits(result.payload_bits) == payload
+
+    def test_rate_ladder_airtime(self):
+        payload = b"\x55" * 64
+        durations = {}
+        for rate in (1.0, 2.0, 5.5, 11.0):
+            wave = wifi_b.modulate(payload, wifi_b.WifiBConfig(rate_mbps=rate))
+            start = wave.annotations["payload_start"]
+            durations[rate] = wave.n_samples - start
+        assert durations[1.0] > durations[2.0] > durations[5.5] > durations[11.0]
+
+
+class TestBle2M:
+    def test_loopback(self):
+        from repro.phy import ble
+
+        payload = bytes(range(12))
+        wave = ble.modulate(payload, ble.BleConfig(phy="2M"))
+        result = ble.demodulate(wave)
+        assert result.crc_ok
+        assert bitlib.bytes_from_bits(result.payload_bits) == payload
+
+    def test_2m_halves_airtime(self):
+        from repro.phy import ble
+
+        payload = b"\xaa" * 20
+        one = ble.modulate(payload, ble.BleConfig(phy="1M"))
+        two = ble.modulate(payload, ble.BleConfig(phy="2M"))
+        assert two.duration < 0.6 * one.duration
+
+    def test_rejects_unknown_phy(self):
+        from repro.phy import ble
+
+        with pytest.raises(ValueError):
+            ble.BleConfig(phy="4M")

@@ -1,0 +1,111 @@
+"""Tests for puncturing and the full 802.11n MCS ladder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy import bits as bitlib
+from repro.phy import convcode, viterbi, wifi_n
+
+
+class TestPuncturing:
+    @pytest.mark.parametrize("rate,keep", [("1/2", 1.0), ("2/3", 0.75), ("3/4", 2 / 3), ("5/6", 0.6)])
+    def test_puncture_ratio(self, rate, keep):
+        coded = np.zeros(480, np.uint8)
+        assert convcode.puncture(coded, rate).size == pytest.approx(480 * keep, abs=2)
+
+    @given(st.integers(0, 2**32 - 1), st.sampled_from(["2/3", "3/4", "5/6"]))
+    @settings(max_examples=20, deadline=None)
+    def test_depuncture_restores_positions(self, seed, rate):
+        rng = np.random.default_rng(seed)
+        coded = rng.integers(0, 2, 240).astype(np.uint8)
+        punct = convcode.puncture(coded, rate)
+        depunct = convcode.depuncture(punct, rate)
+        kept = depunct != convcode.ERASURE
+        assert np.array_equal(depunct[kept], punct)
+
+    @pytest.mark.parametrize("rate", ["1/2", "2/3", "3/4", "5/6"])
+    def test_clean_decode_through_puncturing(self, rate):
+        rng = np.random.default_rng(5)
+        info = rng.integers(0, 2, 300).astype(np.uint8)
+        punct = convcode.puncture(convcode.encode(info), rate)
+        decoded = viterbi.decode(convcode.depuncture(punct, rate), n_info=info.size)
+        assert np.array_equal(decoded, info)
+
+    def test_punctured_code_is_weaker(self):
+        # Higher puncturing tolerates fewer channel errors.
+        rng = np.random.default_rng(6)
+        info = rng.integers(0, 2, 400).astype(np.uint8)
+
+        def residual(rate, flip_every):
+            punct = convcode.puncture(convcode.encode(info), rate)
+            corrupted = punct.copy()
+            corrupted[::flip_every] ^= 1
+            decoded = viterbi.decode(
+                convcode.depuncture(corrupted, rate), n_info=info.size
+            )
+            return np.mean(decoded != info)
+
+        assert residual("5/6", 18) >= residual("1/2", 18)
+
+    def test_rejects_unknown_rate(self):
+        with pytest.raises(ValueError):
+            convcode.puncture(np.zeros(8, np.uint8), "7/8")
+        with pytest.raises(ValueError):
+            convcode.depuncture(np.zeros(8, np.uint8), "9/10")
+
+
+class TestMcsLadder:
+    @pytest.mark.parametrize("mcs", list(range(8)))
+    def test_loopback(self, mcs):
+        payload = bytes(range(52))
+        wave = wifi_n.modulate(payload, wifi_n.WifiNConfig(mcs=mcs))
+        result = wifi_n.demodulate(wave, n_psdu_bits=len(payload) * 8)
+        assert bitlib.bytes_from_bits(result.psdu_bits) == payload
+
+    def test_n_dbps_ladder(self):
+        expected = {0: 26, 1: 52, 2: 78, 3: 104, 4: 156, 5: 208, 6: 234, 7: 260}
+        for mcs, dbps in expected.items():
+            assert wifi_n.WifiNConfig(mcs=mcs).n_dbps == dbps
+
+    def test_higher_mcs_fewer_symbols(self):
+        payload = b"\xa5" * 100
+        symbols = [
+            wifi_n.modulate(payload, wifi_n.WifiNConfig(mcs=m)).annotations[
+                "n_payload_symbols"
+            ]
+            for m in range(8)
+        ]
+        assert all(a >= b for a, b in zip(symbols, symbols[1:]))
+
+    def test_64qam_constellation_unit_power(self):
+        rng = np.random.default_rng(7)
+        bits = rng.integers(0, 2, 6 * 4096).astype(np.uint8)
+        pts = wifi_n._map_bits(bits, "64QAM")
+        assert np.mean(np.abs(pts) ** 2) == pytest.approx(1.0, rel=0.05)
+
+    def test_64qam_demap_inverts_map(self):
+        rng = np.random.default_rng(8)
+        bits = rng.integers(0, 2, 6 * 200).astype(np.uint8)
+        pts = wifi_n._map_bits(bits, "64QAM")
+        assert np.array_equal(wifi_n._demap_symbols(pts, "64QAM"), bits)
+
+    def test_mcs7_noise_sensitivity(self):
+        # 64QAM 5/6 fails at an SNR where MCS0 is clean -- the ladder
+        # behaves like a ladder.
+        rng = np.random.default_rng(9)
+        payload = bytes(range(40))
+        noise = 0.08
+
+        def errors(mcs):
+            wave = wifi_n.modulate(payload, wifi_n.WifiNConfig(mcs=mcs))
+            wave.iq = wave.iq + noise * (
+                rng.normal(size=wave.n_samples) + 1j * rng.normal(size=wave.n_samples)
+            )
+            result = wifi_n.demodulate(wave, n_psdu_bits=len(payload) * 8)
+            ref = bitlib.bits_from_bytes(payload)
+            return int(np.count_nonzero(result.psdu_bits[: ref.size] != ref))
+
+        assert errors(0) == 0
+        assert errors(7) > 0

