@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-tables examples lint clean
+.PHONY: install test test-fast bench bench-primitives bench-tables perf-report examples lint clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -10,8 +10,20 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+# Skip multi-process / long-running tests (marked @pytest.mark.slow).
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow"
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Kernel benchmarks + regression gate; updates BENCH_primitives.json.
+bench-primitives:
+	$(PYTHON) benchmarks/run_benchmarks.py
+
+# Timers/counters/cache hit-rates of one representative experiment.
+perf-report:
+	REPRO_PERF=1 $(PYTHON) -m repro run fig05_envelope_id
 
 bench-tables:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -4,16 +4,43 @@ Unlike the paper-reproduction benches (single-shot, printed tables),
 these run multiple rounds so pytest-benchmark's statistics are
 meaningful -- they guard the simulator's own performance: modulator
 and demodulator sample rates, correlation scoring, Viterbi decode.
+
+``TestSeedReference`` benchmarks the frozen pure-Python seed kernels
+(``tests/reference_impls.py``) on the same workloads as their
+vectorized replacements; ``benchmarks/run_benchmarks.py`` pairs the
+two to record speedups and gate regressions in
+``BENCH_primitives.json``.
 """
+
+import pathlib
+import sys
 
 import numpy as np
 import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1]))
 
 from repro.core.adc import Adc
 from repro.core.matching import score_capture
 from repro.core.rectifier import ClampRectifier
 from repro.core.templates import TemplateBank
 from repro.phy import ble, convcode, viterbi, wifi_b, wifi_n, zigbee
+from tests import reference_impls as ref
+
+
+def _viterbi_workload():
+    rng = np.random.default_rng(0)
+    info = rng.integers(0, 2, 1000).astype(np.uint8)
+    return info, convcode.encode(info)
+
+
+def _sliding_workload():
+    """Sliding detection: 40 us templates correlated at 400 offsets."""
+    adc = Adc(sample_rate=10e6, n_bits=4)
+    bank = TemplateBank.build(adc, window_us=40.0)
+    rng = np.random.default_rng(2)
+    codes = rng.integers(0, 16, bank.l_p + bank.l_m + 404).astype(float)
+    return codes, bank, tuple(range(400))
 
 
 @pytest.fixture(scope="module")
@@ -51,9 +78,7 @@ class TestDemodulators:
         assert result.payload_bits.size
 
     def test_viterbi_decode(self, benchmark):
-        rng = np.random.default_rng(0)
-        info = rng.integers(0, 2, 1000).astype(np.uint8)
-        coded = convcode.encode(info)
+        info, coded = _viterbi_workload()
         decoded = benchmark(viterbi.decode, coded, n_info=info.size)
         assert np.array_equal(decoded, info)
 
@@ -72,5 +97,28 @@ class TestTagPipeline:
         codes = rng.integers(0, 512, 140)
         scores = benchmark(
             score_capture, codes, bank, quantized=True, offsets=(0, 1, 2, 3)
+        )
+        assert len(scores) == 4
+
+    def test_score_capture_sliding(self, benchmark):
+        codes, bank, offsets = _sliding_workload()
+        scores = benchmark(
+            score_capture, codes, bank, quantized=False, offsets=offsets
+        )
+        assert len(scores) == 4
+
+
+class TestSeedReference:
+    """Frozen seed kernels on the vectorized kernels' exact workloads."""
+
+    def test_viterbi_decode_seed(self, benchmark):
+        info, coded = _viterbi_workload()
+        decoded = benchmark(ref.viterbi_decode, coded, n_info=info.size)
+        assert np.array_equal(decoded, info)
+
+    def test_score_capture_sliding_seed(self, benchmark):
+        codes, bank, offsets = _sliding_workload()
+        scores = benchmark(
+            ref.score_capture, codes, bank, quantized=False, offsets=offsets
         )
         assert len(scores) == 4

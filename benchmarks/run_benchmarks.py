@@ -1,0 +1,170 @@
+#!/usr/bin/env python
+"""Run the primitive benchmarks and maintain ``BENCH_primitives.json``.
+
+Runs ``benchmarks/bench_primitives.py`` under pytest-benchmark,
+extracts per-test mean times, pairs the frozen seed kernels with their
+vectorized replacements to record speedups, and writes the result to
+``BENCH_primitives.json`` at the repository root.
+
+If a committed ``BENCH_primitives.json`` already exists, every kernel's
+fresh mean time is compared against the recorded baseline first: a
+slowdown beyond ``--regression-factor`` (default 2x, loose enough for
+machine-to-machine noise) fails the run with exit code 1 and the file
+is left untouched.
+
+Usage::
+
+    python benchmarks/run_benchmarks.py            # run, gate, update
+    python benchmarks/run_benchmarks.py --check    # run + gate only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_FILE = REPO_ROOT / "benchmarks" / "bench_primitives.py"
+OUTPUT = REPO_ROOT / "BENCH_primitives.json"
+
+#: label -> (seed-kernel bench, vectorized-kernel bench).
+SPEEDUP_PAIRS = {
+    "viterbi_decode": ("test_viterbi_decode_seed", "test_viterbi_decode"),
+    "correlation_scoring": (
+        "test_score_capture_sliding_seed",
+        "test_score_capture_sliding",
+    ),
+}
+
+
+def _run_pytest_benchmark(json_path: Path) -> None:
+    cmd = [
+        sys.executable,
+        "-m",
+        "pytest",
+        str(BENCH_FILE),
+        "--benchmark-only",
+        f"--benchmark-json={json_path}",
+        "-q",
+        "-p",
+        "no:cacheprovider",
+    ]
+    # Works without `pip install -e .`: put src/ on the subprocess path.
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    proc = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
+    if proc.returncode != 0:
+        raise SystemExit(f"benchmark run failed with exit code {proc.returncode}")
+
+
+def _extract_means(json_path: Path) -> dict[str, dict[str, float]]:
+    data = json.loads(json_path.read_text())
+    results: dict[str, dict[str, float]] = {}
+    for bench in data["benchmarks"]:
+        # "path::Class::test_name" -> "test_name"
+        name = bench["name"].split("::")[-1].split("[")[0]
+        stats = bench["stats"]
+        results[name] = {
+            "mean_s": stats["mean"],
+            "stddev_s": stats["stddev"],
+            "rounds": stats["rounds"],
+        }
+    return results
+
+
+def _speedups(results: dict[str, dict[str, float]]) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for label, (seed_name, new_name) in SPEEDUP_PAIRS.items():
+        if seed_name in results and new_name in results:
+            out[label] = round(
+                results[seed_name]["mean_s"] / results[new_name]["mean_s"], 2
+            )
+    return out
+
+
+def _check_regressions(
+    results: dict[str, dict[str, float]], factor: float
+) -> list[str]:
+    if not OUTPUT.exists():
+        return []
+    baseline = json.loads(OUTPUT.read_text()).get("results", {})
+    failures = []
+    for name, stats in results.items():
+        base = baseline.get(name)
+        if not base:
+            continue
+        ratio = stats["mean_s"] / base["mean_s"]
+        if ratio > factor:
+            failures.append(
+                f"{name}: {stats['mean_s'] * 1e3:.3f} ms vs baseline "
+                f"{base['mean_s'] * 1e3:.3f} ms ({ratio:.2f}x slower)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="gate against the committed baseline without rewriting it",
+    )
+    parser.add_argument(
+        "--regression-factor",
+        type=float,
+        default=2.0,
+        help="fail if a kernel's mean time exceeds baseline * factor (default 2)",
+    )
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        json_path = Path(tmp) / "bench.json"
+        _run_pytest_benchmark(json_path)
+        results = _extract_means(json_path)
+    if not results:
+        print("no benchmark results collected", file=sys.stderr)
+        return 1
+
+    speedups = _speedups(results)
+    failures = _check_regressions(results, args.regression_factor)
+
+    print("kernel speedups vs frozen seed implementations:")
+    for label, factor in speedups.items():
+        print(f"  {label:22s} {factor:6.2f}x")
+    if failures:
+        print("PERFORMANCE REGRESSIONS (vs committed BENCH_primitives.json):")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+
+    if not args.check:
+        OUTPUT.write_text(
+            json.dumps(
+                {
+                    "workloads": {
+                        "viterbi_decode": "1000 info bits, rate-1/2 K=7, hard decisions",
+                        "correlation_scoring": "full-precision score_capture, "
+                        "40us window at 10 Msps, 400 sliding offsets",
+                    },
+                    "results": results,
+                    "speedups_vs_seed": speedups,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        print(f"wrote {OUTPUT.relative_to(REPO_ROOT)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

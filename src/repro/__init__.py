@@ -17,3 +17,9 @@ Run ``python -m repro list`` for the experiment catalogue.
 """
 
 __version__ = "1.0.0"
+
+import os as _os
+
+if _os.environ.get("REPRO_PERF", "") not in ("", "0"):
+    # Arms the atexit perf report (timers/counters/cache hit rates).
+    from repro import perf as _perf  # noqa: F401

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import argparse
 import importlib
+import os
 import sys
 
 __all__ = ["main", "EXPERIMENTS"]
@@ -90,9 +91,21 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("info", help="library and calibration summary")
     run_p = sub.add_parser("run", help="run one experiment")
     run_p.add_argument("experiment", help="experiment name (see 'list')")
-    sub.add_parser("run-all", help="run every experiment")
+    run_all_p = sub.add_parser("run-all", help="run every experiment")
+    for p in (run_p, run_all_p):
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            metavar="N",
+            help="Monte-Carlo worker processes (default: REPRO_WORKERS or 1); "
+            "results are bit-identical for any worker count",
+        )
 
     args = parser.parse_args(argv)
+    if getattr(args, "workers", None) is not None:
+        # Publish through the shared knob so every module sees it.
+        os.environ["REPRO_WORKERS"] = str(max(args.workers, 1))
     if args.command == "list":
         return _cmd_list()
     if args.command == "info":

@@ -83,25 +83,40 @@ def score_capture(
         return scores
 
     # Stack all candidate windows: rows are offsets (sliding detection,
-    # as a continuously-correlating tag would do).
+    # as a continuously-correlating tag would do).  All templates are
+    # stacked too, so one (offsets x samples) @ (samples x protocols)
+    # product scores every protocol at every offset.
+    off = np.asarray(valid)
     win = np.lib.stride_tricks.sliding_window_view(arr, l_p + l_m)
-    sel = win[np.asarray(valid)]
-    pre = sel[:, :l_p]
+    sel = win[off]
     window = sel[:, l_p:]
-    dc = pre[:, l_p // 2 :].mean(axis=1, keepdims=True)
     if quantized:
+        pre = sel[:, :l_p]
+        dc = pre[:, l_p // 2 :].mean(axis=1, keepdims=True)
         q = np.where(window - dc >= 0.0, 1.0, -1.0)
-        for p, t in bank.templates.items():
-            c = q @ t.matching_q / t.matching_q.size
-            scores[p] = float(c.max())
+        protocols, mat = bank.stacked(quantized=True)
+        best = (q @ mat.T).max(axis=0) / l_m
     else:
-        centered = window - window.mean(axis=1, keepdims=True)
-        norms = np.linalg.norm(centered, axis=1, keepdims=True)
-        norms = np.where(norms <= 1e-12, 1.0, norms)
-        unit = centered / norms
-        for p, t in bank.templates.items():
-            c = unit @ t.matching
-            scores[p] = float(c.max())
+        # Normalized correlation without materializing the centered /
+        # unit-norm window copies: correlate the raw windows in one
+        # GEMM, then correct per offset.  With x the raw window, m a
+        # template, s = sum(m):
+        #   (x - mean(x)) . m / ||x - mean(x)||
+        #     = (x . m - mean(x) * s) / sqrt(sum(x^2) - l_m * mean^2)
+        # and the per-offset sums come from prefix sums of the capture.
+        protocols, mat = bank.stacked(quantized=False)
+        raw = window @ mat.T  # (n_offsets, n_protocols)
+        c1 = np.concatenate([[0.0], np.cumsum(arr)])
+        c2 = np.concatenate([[0.0], np.cumsum(arr * arr)])
+        s = c1[off + l_p + l_m] - c1[off + l_p]
+        ss = c2[off + l_p + l_m] - c2[off + l_p]
+        mean = s / l_m
+        norm = np.sqrt(np.maximum(ss - s * mean, 0.0))
+        norm = np.where(norm <= 1e-12, 1.0, norm)
+        tsum = mat.sum(axis=1)
+        best = ((raw - mean[:, None] * tsum[None, :]) / norm[:, None]).max(axis=0)
+    for p, v in zip(protocols, best):
+        scores[p] = float(v)
     return scores
 
 

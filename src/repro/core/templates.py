@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.core.adc import Adc
 from repro.core.rectifier import ClampRectifier, _EnvelopeRectifier
+from repro.core.wavecache import LruCache
 from repro.phy import ble, wifi_b, wifi_n, zigbee
 from repro.phy.protocols import Protocol
 from repro.phy.waveform import Waveform
@@ -42,14 +43,12 @@ BASE_WINDOW_US = 8.0
 EXTENDED_WINDOW_US = 40.0
 
 
-def reference_waveform(protocol: Protocol, *, n_payload_bytes: int = 16) -> Waveform:
-    """A clean, deterministic waveform whose head serves as template.
+#: Memoizes the deterministic reference waveforms (all-zero payload),
+#: keyed (protocol, n_payload_bytes).  Callers get defensive copies.
+_REFERENCE_CACHE = LruCache(maxsize=16, name="core.templates.reference_waveform")
 
-    The template region is payload-independent for every protocol: the
-    802.11b SYNC scrambler seed is fixed, the BLE advertising access
-    address is a constant, ZigBee's SHR is all zero symbols, and the
-    802.11n training fields are standard sequences.
-    """
+
+def _build_reference(protocol: Protocol, n_payload_bytes: int) -> Waveform:
     payload = bytes(n_payload_bytes)
     if protocol is Protocol.WIFI_B:
         return wifi_b.modulate(payload)
@@ -60,6 +59,24 @@ def reference_waveform(protocol: Protocol, *, n_payload_bytes: int = 16) -> Wave
     if protocol is Protocol.ZIGBEE:
         return zigbee.modulate(payload)
     raise ValueError(f"unknown protocol {protocol}")
+
+
+def reference_waveform(protocol: Protocol, *, n_payload_bytes: int = 16) -> Waveform:
+    """A clean, deterministic waveform whose head serves as template.
+
+    The template region is payload-independent for every protocol: the
+    802.11b SYNC scrambler seed is fixed, the BLE advertising access
+    address is a constant, ZigBee's SHR is all zero symbols, and the
+    802.11n training fields are standard sequences.
+
+    The waveform is fully deterministic, so it is cached; the returned
+    copy is the caller's to mutate.
+    """
+    wave = _REFERENCE_CACHE.get_or_create(
+        (protocol, n_payload_bytes),
+        lambda: _build_reference(protocol, n_payload_bytes),
+    )
+    return wave.copy()
 
 
 @dataclass
@@ -94,6 +111,10 @@ class TemplateBank:
     window_us: float
     preprocess_us: float
     templates: dict[Protocol, Template] = field(default_factory=dict)
+    #: Stacked-matrix cache for the batched correlator; keyed by the
+    #: quantization flag plus the identity of every template so any
+    #: replacement invalidates it.
+    _stacked: dict = field(default_factory=dict, init=False, repr=False, compare=False)
 
     @classmethod
     def build(
@@ -139,6 +160,29 @@ class TemplateBank:
             return bank
         finally:
             rect.noise_v_rms = noise_backup
+
+    def stacked(self, *, quantized: bool) -> tuple[tuple[Protocol, ...], np.ndarray]:
+        """Templates stacked into one ``(n_protocols, l_m)`` matrix.
+
+        Lets the matcher score every protocol with a single GEMM
+        instead of one GEMV per template.  Rebuilt whenever a template
+        object is swapped out.
+        """
+        ident = tuple((p, id(t)) for p, t in self.templates.items())
+        if self._stacked.get("ident") != ident:
+            self._stacked.clear()
+            self._stacked["ident"] = ident
+        hit = self._stacked.get(quantized)
+        if hit is not None:
+            return hit
+        protocols = tuple(self.templates)
+        rows = [
+            t.matching_q if quantized else t.matching
+            for t in self.templates.values()
+        ]
+        value = (protocols, np.vstack(rows))
+        self._stacked[quantized] = value
+        return value
 
     @property
     def l_p(self) -> int:

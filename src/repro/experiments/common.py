@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -9,6 +10,7 @@ import numpy as np
 
 from repro.phy.protocols import Protocol
 from repro.phy.waveform import Waveform
+from repro.sim.runner import resolve_workers
 from repro.sim.traffic import random_packet
 
 __all__ = ["ExperimentResult", "labeled_traces", "PROTOCOL_ORDER"]
@@ -29,18 +31,48 @@ class ExperimentResult:
         return self.data[key]
 
 
+def _build_trace(
+    protocol: Protocol,
+    seed_seq: np.random.SeedSequence,
+    n_payload_bytes: int,
+) -> Waveform:
+    """One trace from its own stream (also the worker entry point)."""
+    rng = np.random.default_rng(seed_seq)
+    return random_packet(protocol, rng, n_payload_bytes=n_payload_bytes)
+
+
 def labeled_traces(
     n_per_protocol: int,
     *,
     seed: int = 1234,
     n_payload_bytes: int = 40,
+    n_workers: int | None = None,
 ) -> list[tuple[Protocol, Waveform]]:
-    """Identification trace set: random payloads for all four protocols."""
-    rng = np.random.default_rng(seed)
-    traces: list[tuple[Protocol, Waveform]] = []
-    for protocol in Protocol:
-        for _ in range(n_per_protocol):
-            traces.append(
-                (protocol, random_packet(protocol, rng, n_payload_bytes=n_payload_bytes))
+    """Identification trace set: random payloads for all four protocols.
+
+    Every trace draws from its own stream spawned off one root
+    ``SeedSequence``, so the set is reproducible from ``seed`` and can
+    be modulated in parallel (``n_workers`` follows the shared
+    ``REPRO_WORKERS`` knob, see :func:`repro.sim.runner.resolve_workers`)
+    with bit-identical output for any worker count.
+    """
+    protocols = [p for p in Protocol for _ in range(n_per_protocol)]
+    children = np.random.SeedSequence(seed).spawn(len(protocols))
+    workers = min(resolve_workers(n_workers), max(len(protocols), 1))
+    if workers <= 1:
+        waves = [
+            _build_trace(p, s, n_payload_bytes)
+            for p, s in zip(protocols, children)
+        ]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            waves = list(
+                pool.map(
+                    _build_trace,
+                    protocols,
+                    children,
+                    [n_payload_bytes] * len(protocols),
+                    chunksize=max(len(protocols) // workers, 1),
+                )
             )
-    return traces
+    return list(zip(protocols, waves))

@@ -46,9 +46,10 @@ def run(
     n_traces: int = 12,
     grid: tuple[tuple[int, int], ...] = ((20, 60), (40, 120), (60, 100)),
     seed: int = 5,
+    n_workers: int | None = None,
 ) -> ExperimentResult:
     """``grid`` holds (L_p, L_t) pairs in 20 Msps samples."""
-    traces = labeled_traces(n_traces, seed=seed)
+    traces = labeled_traces(n_traces, seed=seed, n_workers=n_workers)
     results = {}
     for l_p, l_t in grid:
         config = IdentificationConfig(

@@ -31,6 +31,7 @@ def run(
     sample_rate_hz: float = 10e6,
     power_drop_db: float = 4.0,
     seed: int = 7,
+    n_workers: int | None = None,
 ) -> ExperimentResult:
     """``power_drop_db`` places the tag slightly farther from the
     radios than the 0.8 m default (~1.3 m at 4 dB) -- the operating
@@ -42,7 +43,7 @@ def run(
     powers = {p: v - power_drop_db for p, v in DEFAULT_INCIDENT_DBM.items()}
 
     # Train ordered thresholds on a disjoint trace set (paper §2.3.2).
-    train = labeled_traces(n_train, seed=seed + 1000)
+    train = labeled_traces(n_train, seed=seed + 1000, n_workers=n_workers)
     rng = np.random.default_rng(seed)
     labeled_scores = [
         (truth, ident.scores(w, incident_power_dbm=powers[truth], rng=rng))
@@ -50,7 +51,7 @@ def run(
     ]
     matcher, train_acc = search_thresholds(labeled_scores)
 
-    test = labeled_traces(n_traces, seed=seed)
+    test = labeled_traces(n_traces, seed=seed, n_workers=n_workers)
     blind_report = evaluate_identifier(
         ident, test, rng=np.random.default_rng(seed + 1), incident_power_dbm=powers
     )

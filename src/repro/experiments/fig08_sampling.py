@@ -32,14 +32,16 @@ PANELS = (
 )
 
 
-def run(*, n_traces: int = 12, n_train: int = 8, seed: int = 8) -> ExperimentResult:
+def run(
+    *, n_traces: int = 12, n_train: int = 8, seed: int = 8, n_workers: int | None = None
+) -> ExperimentResult:
     reports = {}
     for label, rate, window in PANELS:
         config = IdentificationConfig(
             sample_rate_hz=rate, quantized=True, window_us=window
         )
         ident = ProtocolIdentifier(config)
-        train = labeled_traces(n_train, seed=seed + 1000)
+        train = labeled_traces(n_train, seed=seed + 1000, n_workers=n_workers)
         rng = np.random.default_rng(seed)
         labeled_scores = [
             (t, ident.scores(w, incident_power_dbm=DEFAULT_INCIDENT_DBM[t], rng=rng))
@@ -47,7 +49,7 @@ def run(*, n_traces: int = 12, n_train: int = 8, seed: int = 8) -> ExperimentRes
         ]
         matcher, _ = search_thresholds(labeled_scores)
         ident.matcher = matcher
-        test = labeled_traces(n_traces, seed=seed)
+        test = labeled_traces(n_traces, seed=seed, n_workers=n_workers)
         reports[label] = evaluate_identifier(
             ident, test, rng=np.random.default_rng(seed + 1)
         )

@@ -203,13 +203,14 @@ def demodulate(wave: Waveform, *, dewhiten: bool = True) -> BleDecodeResult:
     dc = float(pre.mean()) if pre.size else 0.0
     dphi = dphi - dc
 
-    # Integrate-and-dump over the central half of each symbol.
-    decisions = np.empty(n_bits, dtype=np.uint8)
-    for k in range(n_bits):
-        lo = k * sps + sps // 4
-        hi = k * sps + sps - sps // 4
-        seg = dphi[lo:hi]
-        decisions[k] = 1 if (seg.sum() if seg.size else 0.0) > 0 else 0
+    # Integrate-and-dump over the central half of each symbol (all
+    # symbols at once; zero-padding keeps a truncated final symbol
+    # equal to summing its short segment).
+    need = n_bits * sps
+    if dphi.size < need:
+        dphi = np.pad(dphi, (0, need - dphi.size))
+    core = dphi[:need].reshape(n_bits, sps)[:, sps // 4 : sps - sps // 4]
+    decisions = (core.sum(axis=1) > 0).astype(np.uint8)
 
     aa_start = ann.get("n_preamble_bits", 8)
     aa = bitlib.int_from_bits(decisions[aa_start : aa_start + 32])

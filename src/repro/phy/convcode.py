@@ -103,18 +103,19 @@ def encode(bits: np.ndarray | list[int]) -> np.ndarray:
 
     The shift register starts at all-zero as the standard requires (the
     scrambled service field's leading zeros flush it in real frames).
+    Each output is the GF(2) inner product of the generator taps with
+    the current input window, i.e. a mod-2 convolution of the whole
+    input with the taps -- which is how it is computed here.
     """
     arr = np.asarray(bits, dtype=np.uint8)
     if arr.ndim != 1:
         raise ValueError("bits must be 1-D")
     out = np.empty(2 * arr.size, dtype=np.uint8)
-    # state holds the last 6 input bits, most recent in bit 0.
-    state = 0
-    for i, b in enumerate(arr):
-        window = (int(b) << 0) | (state << 1)  # current + 6 past bits
-        a = bin(window & G0).count("1") & 1
-        c = bin(window & G1).count("1") & 1
-        out[2 * i] = a
-        out[2 * i + 1] = c
-        state = window & 0x3F
+    if arr.size == 0:
+        return out
+    # Zero-state start means the convolution's leading transient IS the
+    # encoder output; positions past arr.size - 1 belong to the (unsent)
+    # flush tail and are dropped.
+    out[0::2] = np.convolve(arr, _TAPS0)[: arr.size] & 1
+    out[1::2] = np.convolve(arr, _TAPS1)[: arr.size] & 1
     return out

@@ -1,11 +1,22 @@
 """Viterbi decoder for the 802.11 rate-1/2 K=7 convolutional code.
 
 Hard-decision decoding with full traceback; sized for the short frames
-the reproduction exercises (64-state trellis, vectorized across states
-per step).  Punctured positions (marked
+the reproduction exercises.  Punctured positions (marked
 :data:`repro.phy.convcode.ERASURE` by ``depuncture``) contribute zero
 branch metric, which is how the rate-2/3 / 3/4 / 5/6 802.11n MCSs
 decode.
+
+The add-compare-select recursion is processed in radix-16 blocks of
+``_K = 4`` trellis steps: because K-1 = 6 > 4, a destination state
+fixes the block's four input bits (its low nibble), and the 16
+candidate paths into it differ only in the start state's high nibble.
+Block branch sums come from tables indexed by the received pair type
+(each coded pair is one of 9 (bit, bit/erasure) combinations), so the
+Python-level loop runs once per 4 steps instead of once per step.  The
+candidate ordering is chosen so that ``argmin`` ties resolve exactly
+like the per-step recursion (predecessor slot 0 preferred, latest step
+most significant), keeping decisions bit-identical to the scalar
+reference implementation.
 """
 
 from __future__ import annotations
@@ -17,6 +28,7 @@ from repro.phy.convcode import CONSTRAINT, ERASURE, G0, G1
 __all__ = ["decode", "decode_soft"]
 
 _N_STATES = 1 << (CONSTRAINT - 1)  # 64
+_K = 4  # trellis steps per vectorized block
 
 
 def _build_tables() -> tuple[np.ndarray, np.ndarray]:
@@ -36,8 +48,9 @@ def _build_tables() -> tuple[np.ndarray, np.ndarray]:
 
 _NEXT, _OUT = _build_tables()
 
-# Precompute, for each destination state, its two (prev_state, input)
-# predecessors -- makes the ACS step a pure gather.
+# Per destination state, its two (prev_state, input) predecessors --
+# slot 0 is the smaller predecessor, which the serial recursion prefers
+# on metric ties.
 _PREV = np.full((_N_STATES, 2, 2), -1, dtype=np.int64)  # [dst, k] = (src, bit)
 for _s in range(_N_STATES):
     for _b in (0, 1):
@@ -47,13 +60,136 @@ for _s in range(_N_STATES):
         _PREV[_dst, slot, 1] = _b
 
 
+def _build_block_tables():
+    """Tables for the radix-16 blocked ACS.
+
+    Writing the start state as ``s5..s0`` and the destination as
+    ``d = (s1 s0 b1 b2 b3 b4)``, the path states are
+
+    ====  =========================
+    step  state entering the step
+    ====  =========================
+    1     ``s5 s4 s3 s2 s1 s0``
+    2     ``s4 s3 s2 s1 s0 b1``
+    3     ``s3 s2 s1 s0 b1 b2``
+    4     ``s2 s1 s0 b1 b2 b3``
+    ====  =========================
+
+    so step j's branch only depends on the free bits ``s_{6-j}..s2``
+    (and d).  The predecessor slot chosen at step j equals start bit
+    ``s_{6-j}``; matching the serial tie rule (slot 0 wins, latest step
+    decides first) therefore requires the candidate index to be
+    ``c = (s2 s3 s4 s5)`` with s2 most significant, and first-``argmin``
+    over c.
+
+    Returns ``(bmtab, g12, g34, src, bits)``:
+
+    * ``bmtab[pt, state*2+bit]`` -- single-step branch metric for
+      received pair type ``pt = 3*a + b`` (a, b in {0, 1, erasure});
+    * ``g12[p1*9+p2, d, c]`` / ``g34[p3*9+p4, d, c']`` -- combined
+      branch sums for steps (1, 2) over all 16 candidates and steps
+      (3, 4) over the 4 relevant bits ``(s2 s3)``;
+    * ``src[d, c]`` -- block start state; ``bits[d]`` -- the 4 decoded
+      bits fixed by d.
+    """
+    d = np.arange(_N_STATES)
+    s1s0 = d >> 4
+    b = [(d >> (3 - j)) & 1 for j in range(_K)]
+
+    idx_steps = []
+    for j, nbits in zip(range(_K), (4, 3, 2, 1)):
+        idx = np.empty((1 << nbits, _N_STATES), dtype=np.intp)
+        for c in range(1 << nbits):
+            sbits = [(c >> (nbits - 1 - i)) & 1 for i in range(nbits)]
+            s = {2 + i: sbits[i] for i in range(nbits)}
+            if j == 0:
+                state = (s[5] << 5) | (s[4] << 4) | (s[3] << 3) | (s[2] << 2) | s1s0
+            elif j == 1:
+                state = (s[4] << 5) | (s[3] << 4) | (s[2] << 3) | (s1s0 << 1) | b[0]
+            elif j == 2:
+                state = (s[3] << 5) | (s[2] << 4) | (s1s0 << 2) | (b[0] << 1) | b[1]
+            else:
+                state = (s[2] << 5) | (s1s0 << 3) | (b[0] << 2) | (b[1] << 1) | b[2]
+            idx[c] = state * 2 + b[j]
+        idx_steps.append(idx)
+
+    bmtab = np.empty((9, 2 * _N_STATES), dtype=np.int32)
+    for pa in range(3):
+        for pb in range(3):
+            for st in range(_N_STATES):
+                for bit in range(2):
+                    m = 0
+                    if pa != 2:
+                        m += int(_OUT[st, bit, 0] != pa)
+                    if pb != 2:
+                        m += int(_OUT[st, bit, 1] != pb)
+                    bmtab[3 * pa + pb, st * 2 + bit] = m
+
+    g = [bmtab[:, idx] for idx in idx_steps]  # (9, n_free_j, 64)
+    # Combine step pairs over the 81 pair-type combinations; duplicate
+    # along the candidate axis where the later step has fewer free bits
+    # (candidate c of step 1 maps to c >> 1 of step 2, etc.).
+    g12 = g[0][:, None, :, :] + np.repeat(g[1], 2, axis=1)[None, :, :, :]
+    g12 = g12.reshape(81, 16, _N_STATES).transpose(0, 2, 1).copy()
+    g34 = g[2][:, None, :, :] + np.repeat(g[3], 2, axis=1)[None, :, :, :]
+    g34 = g34.reshape(81, 4, _N_STATES).transpose(0, 2, 1).copy()
+
+    src = np.empty((_N_STATES, 16), dtype=np.intp)
+    for c in range(16):
+        s2, s3, s4, s5 = (c >> 3) & 1, (c >> 2) & 1, (c >> 1) & 1, c & 1
+        src[:, c] = (s5 << 5) | (s4 << 4) | (s3 << 3) | (s2 << 2) | s1s0
+    bits = np.empty((_N_STATES, _K), dtype=np.uint8)
+    for dst in range(_N_STATES):
+        bits[dst] = [(dst >> 3) & 1, (dst >> 2) & 1, (dst >> 1) & 1, dst & 1]
+
+    # Per-step float index tables in (dst, candidate) layout for the
+    # soft decoder (it gathers per-step LLR branch metrics directly).
+    idx_dc = [idx.T.copy() for idx in idx_steps]
+    return bmtab, g12, g34, src, bits, idx_dc
+
+
+_BMTAB, _G12, _G34, _SRC, _BITS, _IDX_DC = _build_block_tables()
+
+_SRC0 = _PREV[:, 0, 0]
+_BIT0 = _PREV[:, 0, 1]
+_SRC1 = _PREV[:, 1, 0]
+_BIT1 = _PREV[:, 1, 1]
+_PACK0 = (_SRC0 << 1) | _BIT0
+_PACK1 = (_SRC1 << 1) | _BIT1
+_BM0 = _SRC0 * 2 + _BIT0  # bmtab columns via predecessor 0
+_BM1 = _SRC1 * 2 + _BIT1
+
+
+def _traceback(
+    metrics: np.ndarray,
+    surv_blocks: np.ndarray,
+    surv_tail: np.ndarray,
+    n_steps: int,
+    n_info: int,
+) -> np.ndarray:
+    n_blocks = surv_blocks.shape[0]
+    rem = surv_tail.shape[0]
+    state = int(np.argmin(metrics))
+    decoded = np.empty(n_steps, dtype=np.uint8)
+    for i in range(rem - 1, -1, -1):
+        packed = surv_tail[i, state]
+        decoded[n_blocks * _K + i] = packed & 1
+        state = int(packed >> 1)
+    for nblk in range(n_blocks - 1, -1, -1):
+        c = int(surv_blocks[nblk, state])
+        decoded[nblk * _K : (nblk + 1) * _K] = _BITS[state]
+        state = int(_SRC[state, c])
+    return decoded[:n_info]
+
+
 def decode(coded: np.ndarray | list[int], *, n_info: int | None = None) -> np.ndarray:
     """Hard-decision Viterbi decode of a rate-1/2 coded stream.
 
-    ``coded`` holds interleaved (A, B) bits; ``n_info`` truncates the
-    decoded output (defaults to ``len(coded) // 2``).  The trellis is
-    assumed to start in state zero, matching
-    :func:`repro.phy.convcode.encode`; the end state is unconstrained.
+    ``coded`` holds interleaved (A, B) values in {0, 1, ERASURE};
+    ``n_info`` truncates the decoded output (defaults to
+    ``len(coded) // 2``).  The trellis is assumed to start in state
+    zero, matching :func:`repro.phy.convcode.encode`; the end state is
+    unconstrained.
     """
     arr = np.asarray(coded, dtype=np.uint8)
     if arr.size % 2:
@@ -64,41 +200,38 @@ def decode(coded: np.ndarray | list[int], *, n_info: int | None = None) -> np.nd
     if n_steps == 0:
         return np.zeros(0, dtype=np.uint8)
 
-    pairs = arr.reshape(n_steps, 2)
+    pairs = arr.reshape(n_steps, 2).astype(np.intp)
+    ptype = pairs[:, 0] * 3 + pairs[:, 1]
 
-    metrics = np.full(_N_STATES, 1 << 30, dtype=np.int64)
+    n_blocks = n_steps // _K
+    rem = n_steps - n_blocks * _K
+
+    metrics = np.full(_N_STATES, 1 << 28, dtype=np.int32)
     metrics[0] = 0
-    # survivor[t, dst] = packed (prev_state << 1) | input_bit
-    survivor = np.empty((n_steps, _N_STATES), dtype=np.int64)
+    surv_blocks = np.empty((n_blocks, _N_STATES), dtype=np.intp)
+    states = np.arange(_N_STATES)
 
-    src0 = _PREV[:, 0, 0]
-    bit0 = _PREV[:, 0, 1]
-    src1 = _PREV[:, 1, 0]
-    bit1 = _PREV[:, 1, 1]
-    out0 = _OUT[src0, bit0]  # (64, 2) expected outputs via predecessor 0
-    out1 = _OUT[src1, bit1]
+    if n_blocks:
+        pt = ptype[: n_blocks * _K].reshape(n_blocks, _K)
+        block_bm = _G12[pt[:, 0] * 9 + pt[:, 1]] + np.repeat(
+            _G34[pt[:, 2] * 9 + pt[:, 3]], 4, axis=2
+        )
+        for nblk in range(n_blocks):
+            cand = metrics[_SRC] + block_bm[nblk]
+            cidx = cand.argmin(axis=1)
+            surv_blocks[nblk] = cidx
+            metrics = cand[states, cidx]
 
-    for t in range(n_steps):
-        rx = pairs[t]
-        w0 = 0 if rx[0] == ERASURE else 1
-        w1 = 0 if rx[1] == ERASURE else 1
-        branch0 = w0 * (out0[:, 0] != rx[0]).astype(np.int64) + w1 * (out0[:, 1] != rx[1])
-        branch1 = w0 * (out1[:, 0] != rx[0]).astype(np.int64) + w1 * (out1[:, 1] != rx[1])
-        cand0 = metrics[src0] + branch0
-        cand1 = metrics[src1] + branch1
+    surv_tail = np.empty((rem, _N_STATES), dtype=np.int64)
+    for i in range(rem):
+        bm = _BMTAB[ptype[n_blocks * _K + i]]
+        cand0 = metrics[_SRC0] + bm[_BM0]
+        cand1 = metrics[_SRC1] + bm[_BM1]
         take1 = cand1 < cand0
         metrics = np.where(take1, cand1, cand0)
-        survivor[t] = np.where(
-            take1, (src1 << 1) | bit1, (src0 << 1) | bit0
-        )
+        surv_tail[i] = np.where(take1, _PACK1, _PACK0)
 
-    state = int(np.argmin(metrics))
-    decoded = np.empty(n_steps, dtype=np.uint8)
-    for t in range(n_steps - 1, -1, -1):
-        packed = survivor[t, state]
-        decoded[t] = packed & 1
-        state = int(packed >> 1)
-    return decoded[:n_info]
+    return _traceback(metrics, surv_blocks, surv_tail, n_steps, n_info)
 
 
 def decode_soft(llrs: np.ndarray, *, n_info: int | None = None) -> np.ndarray:
@@ -107,6 +240,12 @@ def decode_soft(llrs: np.ndarray, *, n_info: int | None = None) -> np.ndarray:
     ``llrs`` holds per-coded-bit log-likelihood ratios (positive =
     bit 1 more likely); punctured positions carry LLR 0, which costs
     nothing either way -- so soft depuncturing is just zero insertion.
+
+    Uses the same radix-16 blocked recursion as :func:`decode`; block
+    branch sums group float additions differently from the step-by-step
+    reference, so path metrics can differ by rounding epsilons (the
+    decoded bits only change on exact metric ties, which continuous
+    LLRs do not produce).
     """
     arr = np.asarray(llrs, dtype=float)
     if arr.size % 2:
@@ -118,33 +257,50 @@ def decode_soft(llrs: np.ndarray, *, n_info: int | None = None) -> np.ndarray:
         return np.zeros(0, dtype=np.uint8)
     pairs = arr.reshape(n_steps, 2)
 
+    # Per-step branch metrics for every (state, input): the expected
+    # outputs in bipolar form scored against the LLR pair (max-log ML).
+    exp_a = 2.0 * _OUT[:, :, 0].astype(float).reshape(-1) - 1.0  # (128,)
+    exp_b = 2.0 * _OUT[:, :, 1].astype(float).reshape(-1) - 1.0
+    bm_all = -(pairs[:, :1] * exp_a[None, :] + pairs[:, 1:] * exp_b[None, :])
+
+    n_blocks = n_steps // _K
+    rem = n_steps - n_blocks * _K
+
     metrics = np.full(_N_STATES, 1e18)
     metrics[0] = 0.0
-    survivor = np.empty((n_steps, _N_STATES), dtype=np.int64)
+    surv_blocks = np.empty((n_blocks, _N_STATES), dtype=np.intp)
+    states = np.arange(_N_STATES)
 
-    src0 = _PREV[:, 0, 0]
-    bit0 = _PREV[:, 0, 1]
-    src1 = _PREV[:, 1, 0]
-    bit1 = _PREV[:, 1, 1]
-    # Expected outputs in bipolar form (+1 for bit 1): branch cost is
-    # -expected * llr summed over the pair (max-log ML).
-    exp0 = 2.0 * _OUT[src0, bit0].astype(float) - 1.0
-    exp1 = 2.0 * _OUT[src1, bit1].astype(float) - 1.0
+    if n_blocks:
+        steps = bm_all[: n_blocks * _K].reshape(n_blocks, _K, 2 * _N_STATES)
+        a1 = steps[:, 0][:, _IDX_DC[0]]  # (n_blocks, 64, 16)
+        a2 = steps[:, 1][:, _IDX_DC[1]]  # (n_blocks, 64, 8)
+        a3 = steps[:, 2][:, _IDX_DC[2]]  # (n_blocks, 64, 4)
+        a4 = steps[:, 3][:, _IDX_DC[3]]  # (n_blocks, 64, 2)
+        nb = a1.shape[0]
+        block_bm = (
+            a1.reshape(nb, _N_STATES, 8, 2)
+            + (
+                a2.reshape(nb, _N_STATES, 4, 2, 1)
+                + (
+                    a3.reshape(nb, _N_STATES, 2, 2, 1)
+                    + a4.reshape(nb, _N_STATES, 2, 1, 1)
+                ).reshape(nb, _N_STATES, 4, 1, 1)
+            ).reshape(nb, _N_STATES, 8, 1)
+        ).reshape(nb, _N_STATES, 16)
+        for nblk in range(n_blocks):
+            cand = metrics[_SRC] + block_bm[nblk]
+            cidx = cand.argmin(axis=1)
+            surv_blocks[nblk] = cidx
+            metrics = cand[states, cidx]
 
-    for t in range(n_steps):
-        rx = pairs[t]
-        branch0 = -(exp0[:, 0] * rx[0] + exp0[:, 1] * rx[1])
-        branch1 = -(exp1[:, 0] * rx[0] + exp1[:, 1] * rx[1])
-        cand0 = metrics[src0] + branch0
-        cand1 = metrics[src1] + branch1
+    surv_tail = np.empty((rem, _N_STATES), dtype=np.int64)
+    for i in range(rem):
+        bm = bm_all[n_blocks * _K + i]
+        cand0 = metrics[_SRC0] + bm[_BM0]
+        cand1 = metrics[_SRC1] + bm[_BM1]
         take1 = cand1 < cand0
         metrics = np.where(take1, cand1, cand0)
-        survivor[t] = np.where(take1, (src1 << 1) | bit1, (src0 << 1) | bit0)
+        surv_tail[i] = np.where(take1, _PACK1, _PACK0)
 
-    state = int(np.argmin(metrics))
-    decoded = np.empty(n_steps, dtype=np.uint8)
-    for t in range(n_steps - 1, -1, -1):
-        packed = survivor[t, state]
-        decoded[t] = packed & 1
-        state = int(packed >> 1)
-    return decoded[:n_info]
+    return _traceback(metrics, surv_blocks, surv_tail, n_steps, n_info)

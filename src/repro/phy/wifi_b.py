@@ -19,6 +19,7 @@ packet-detection field (paper §2.2).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -53,11 +54,37 @@ _RATE_BY_SIGNAL = {v: k for k, v in _SIGNAL_BY_RATE.items()}
 #: DQPSK phase increments for dibits (d0, d1) per 802.11 Table 16-2.
 _DQPSK_PHASE = {(0, 0): 0.0, (0, 1): np.pi / 2, (1, 1): np.pi, (1, 0): 3 * np.pi / 2}
 
+#: The same table as an array indexed by ``2*d0 + d1``.
+_DQPSK_PHASE_LUT = np.array([0.0, np.pi / 2, 3 * np.pi / 2, np.pi])
+
+#: Quadrant index (0/90/180/270 degrees) back to the (d0, d1) dibit.
+_DQPSK_INV_LUT = np.array([[0, 0], [0, 1], [1, 1], [1, 0]], dtype=np.uint8)
+
 #: CCK 5.5 Mbps phi2 choices indexed by bit d2 (phi2 = pi/2 + d2*pi).
 _CCK55_PHI2 = (np.pi / 2, 3 * np.pi / 2)
 
 #: CCK 11 Mbps QPSK mapping for the (phi2, phi3, phi4) dibit pairs.
 _CCK11_QPSK = {(0, 0): 0.0, (0, 1): np.pi / 2, (1, 0): np.pi, (1, 1): 3 * np.pi / 2}
+
+#: The same mapping as an array indexed by ``2*a + b``.
+_CCK11_QPSK_LUT = np.array([0.0, np.pi / 2, np.pi, 3 * np.pi / 2])
+
+#: Per-chip (phi2, phi3, phi4) participation and sign in the CCK
+#: codeword (802.11-2016 equation 16-1); phi1 is on every chip.
+_CCK_PHI_COEF = np.array(
+    [
+        [1, 1, 1],
+        [0, 1, 1],
+        [1, 0, 1],
+        [0, 0, 1],
+        [1, 1, 0],
+        [0, 1, 0],
+        [1, 0, 0],
+        [0, 0, 0],
+    ],
+    dtype=float,
+)
+_CCK_CHIP_SIGN = np.array([1, 1, 1, -1, 1, 1, -1, 1], dtype=float)
 
 
 @dataclass(frozen=True)
@@ -112,9 +139,8 @@ def _dqpsk_phases(bits: np.ndarray, phase0: float = 0.0) -> np.ndarray:
     arr = np.asarray(bits, dtype=np.uint8)
     if arr.size % 2:
         raise ValueError("DQPSK needs an even number of bits")
-    increments = np.array(
-        [_DQPSK_PHASE[(int(arr[i]), int(arr[i + 1]))] for i in range(0, arr.size, 2)]
-    )
+    pairs = arr.reshape(-1, 2)
+    increments = _DQPSK_PHASE_LUT[2 * pairs[:, 0] + pairs[:, 1]]
     return phase0 + np.cumsum(increments)
 
 
@@ -133,19 +159,16 @@ def _cck55_chips(bits: np.ndarray, phase0: float) -> tuple[np.ndarray, float]:
     arr = np.asarray(bits, dtype=np.uint8)
     if arr.size % 4:
         raise ValueError("CCK 5.5 needs a multiple of 4 bits")
-    chips = []
-    phi1 = phase0
-    for i in range(0, arr.size, 4):
-        d = arr[i : i + 4]
-        # (d0, d1) differentially encode phi1; even/odd symbol parity
-        # offset (pi on odd symbols) is omitted -- it cancels in our
-        # differential receiver and does not affect the envelope.
-        phi1 += _DQPSK_PHASE[(int(d[0]), int(d[1]))]
-        phi2 = _CCK55_PHI2[int(d[2])]
-        phi3 = 0.0
-        phi4 = int(d[3]) * np.pi
-        chips.append(_cck_codeword(phi1, phi2, phi3, phi4))
-    return np.concatenate(chips), phi1
+    d = arr.reshape(-1, 4)
+    # (d0, d1) differentially encode phi1; even/odd symbol parity
+    # offset (pi on odd symbols) is omitted -- it cancels in our
+    # differential receiver and does not affect the envelope.
+    phi1 = phase0 + np.cumsum(_DQPSK_PHASE_LUT[2 * d[:, 0] + d[:, 1]])
+    phi2 = np.pi / 2 + d[:, 2] * np.pi
+    phi3 = np.zeros(d.shape[0])
+    phi4 = d[:, 3] * np.pi
+    chips = _cck_codewords(phi1, phi2, phi3, phi4).ravel()
+    return chips, float(phi1[-1]) if phi1.size else phase0
 
 
 def _cck11_chips(bits: np.ndarray, phase0: float) -> tuple[np.ndarray, float]:
@@ -153,33 +176,28 @@ def _cck11_chips(bits: np.ndarray, phase0: float) -> tuple[np.ndarray, float]:
     arr = np.asarray(bits, dtype=np.uint8)
     if arr.size % 8:
         raise ValueError("CCK 11 needs a multiple of 8 bits")
-    chips = []
-    phi1 = phase0
-    for i in range(0, arr.size, 8):
-        d = arr[i : i + 8]
-        phi1 += _DQPSK_PHASE[(int(d[0]), int(d[1]))]
-        phi2 = _CCK11_QPSK[(int(d[2]), int(d[3]))] + np.pi / 2
-        phi3 = _CCK11_QPSK[(int(d[4]), int(d[5]))]
-        phi4 = _CCK11_QPSK[(int(d[6]), int(d[7]))]
-        chips.append(_cck_codeword(phi1, phi2, phi3, phi4))
-    return np.concatenate(chips), phi1
+    d = arr.reshape(-1, 8)
+    phi1 = phase0 + np.cumsum(_DQPSK_PHASE_LUT[2 * d[:, 0] + d[:, 1]])
+    phi2 = _CCK11_QPSK_LUT[2 * d[:, 2] + d[:, 3]] + np.pi / 2
+    phi3 = _CCK11_QPSK_LUT[2 * d[:, 4] + d[:, 5]]
+    phi4 = _CCK11_QPSK_LUT[2 * d[:, 6] + d[:, 7]]
+    chips = _cck_codewords(phi1, phi2, phi3, phi4).ravel()
+    return chips, float(phi1[-1]) if phi1.size else phase0
+
+
+def _cck_codewords(
+    phi1: np.ndarray, phi2: np.ndarray, phi3: np.ndarray, phi4: np.ndarray
+) -> np.ndarray:
+    """8-chip CCK codewords for per-symbol phase arrays; shape (n, 8)."""
+    phases = phi1[:, None] + np.stack([phi2, phi3, phi4], axis=1) @ _CCK_PHI_COEF.T
+    return _CCK_CHIP_SIGN * np.exp(1j * phases)
 
 
 def _cck_codeword(phi1: float, phi2: float, phi3: float, phi4: float) -> np.ndarray:
     """The 8-chip CCK codeword per 802.11-2016 equation 16-1."""
-    e = np.exp
-    return np.array(
-        [
-            e(1j * (phi1 + phi2 + phi3 + phi4)),
-            e(1j * (phi1 + phi3 + phi4)),
-            e(1j * (phi1 + phi2 + phi4)),
-            -e(1j * (phi1 + phi4)),
-            e(1j * (phi1 + phi2 + phi3)),
-            e(1j * (phi1 + phi3)),
-            -e(1j * (phi1 + phi2)),
-            e(1j * phi1),
-        ]
-    )
+    return _cck_codewords(
+        np.array([phi1]), np.array([phi2]), np.array([phi3]), np.array([phi4])
+    )[0]
 
 
 def _plcp_header_bits(rate_mbps: float, length_bytes: int) -> np.ndarray:
@@ -206,6 +224,48 @@ def build_psdu_symbols(payload_bits: np.ndarray, rate_mbps: float) -> int:
 # ----------------------------------------------------------------------
 # modulator
 # ----------------------------------------------------------------------
+@lru_cache(maxsize=256)
+def _cached_head(
+    rate_mbps: float, n_psdu_bytes: int, seed: int, short_preamble: bool
+) -> tuple[np.ndarray, float, int, int]:
+    """Spread chips for the scrambled SYNC+SFD+PLCP header.
+
+    Everything before the PSDU is fully determined by (rate, PSDU byte
+    count, scrambler seed, preamble format), so traffic generators that
+    vary only the payload reuse the ~144 us detection field instead of
+    re-spreading it per packet.  Returns ``(head_chips, last_phase,
+    scrambler_state_after_head, n_head_bits)``; the chips array is
+    shared -- callers must not mutate it.
+    """
+    if short_preamble:
+        sync = np.zeros(56, dtype=np.uint8)
+        sfd = _SFD_SHORT
+    else:
+        sync = np.ones(128, dtype=np.uint8)
+        sfd = _SFD_LONG
+    header = _plcp_header_bits(rate_mbps, n_psdu_bytes)
+    pre_scramble = np.concatenate([sync, sfd, header])
+    head_bits = bitlib.scramble_80211b(pre_scramble, seed=seed)
+
+    if short_preamble:
+        # Short format: SYNC+SFD at 1 Mbps DBPSK, header at 2 Mbps DQPSK.
+        n_sync = sync.size + sfd.size
+        sync_phases = _dbpsk_phases(head_bits[:n_sync])
+        hdr_phases = _dqpsk_phases(head_bits[n_sync:], phase0=sync_phases[-1])
+        head_phases = np.concatenate([sync_phases, hdr_phases])
+    else:
+        head_phases = _dbpsk_phases(head_bits)
+    head_chips = _barker_chips(head_phases)
+    last_phase = float(head_phases[-1]) if head_phases.size else 0.0
+
+    # The self-synchronizing scrambler register is the last 7 output
+    # bits, most recent in bit 0 -- what the PSDU scramble resumes from.
+    state_after = 0
+    for k in range(7):
+        state_after |= int(head_bits[-1 - k]) << k
+    return head_chips, last_phase, state_after, pre_scramble.size
+
+
 def modulate(
     payload: bytes | np.ndarray,
     config: WifiBConfig | None = None,
@@ -228,39 +288,19 @@ def modulate(
     else:
         payload_bits = np.asarray(payload, dtype=np.uint8)
 
-    if cfg.short_preamble:
-        sync = np.zeros(56, dtype=np.uint8)
-        sfd = _SFD_SHORT
-    else:
-        sync = np.ones(128, dtype=np.uint8)
-        sfd = _SFD_LONG
-    header = _plcp_header_bits(cfg.rate_mbps, (payload_bits.size + 7) // 8)
-    pre_scramble = np.concatenate([sync, sfd, header])
+    head_chips, last_phase, scr_state, n_head = _cached_head(
+        cfg.rate_mbps, (payload_bits.size + 7) // 8, cfg.seed, cfg.short_preamble
+    )
 
     if scrambled_domain:
-        # Keep the preamble+header scrambled normally; splice payload
-        # bits into the on-air stream untouched.
-        scrambled_head = bitlib.scramble_80211b(pre_scramble, seed=cfg.seed)
-        onair_bits = np.concatenate([scrambled_head, payload_bits])
+        # The preamble+header stay scrambled normally; payload bits go
+        # on air untouched.
+        psdu_bits = payload_bits
     else:
-        onair_bits = bitlib.scramble_80211b(
-            np.concatenate([pre_scramble, payload_bits]), seed=cfg.seed
-        )
-
-    n_head = pre_scramble.size  # bits before the PSDU
-    head_bits = onair_bits[:n_head]
-    psdu_bits = onair_bits[n_head:]
-
-    if cfg.short_preamble:
-        # Short format: SYNC+SFD at 1 Mbps DBPSK, header at 2 Mbps DQPSK.
-        n_sync = sync.size + sfd.size
-        sync_phases = _dbpsk_phases(head_bits[:n_sync])
-        hdr_phases = _dqpsk_phases(head_bits[n_sync:], phase0=sync_phases[-1])
-        head_phases = np.concatenate([sync_phases, hdr_phases])
-    else:
-        head_phases = _dbpsk_phases(head_bits)
-    head_chips = _barker_chips(head_phases)
-    last_phase = head_phases[-1] if head_phases.size else 0.0
+        # Resume the self-synchronizing scrambler where the head's
+        # register left off -- identical to scrambling the whole frame
+        # in one pass.
+        psdu_bits = bitlib.scramble_80211b(payload_bits, seed=scr_state)
 
     if cfg.rate_mbps == 1.0:
         psdu_phases = _dbpsk_phases(psdu_bits, phase0=last_phase)
@@ -321,17 +361,19 @@ class WifiBDecodeResult:
     rate_mbps: float
 
 
+def _symbol_matrix(iq: np.ndarray, sym_len: int, n_symbols: int, start: int) -> np.ndarray:
+    """Consecutive symbol-length segments as rows, zero-padded at the end."""
+    end = start + n_symbols * sym_len
+    seg = iq[start:end]
+    if seg.size < n_symbols * sym_len:
+        seg = np.pad(seg, (0, n_symbols * sym_len - seg.size))
+    return seg.reshape(n_symbols, sym_len)
+
+
 def _despread_barker(iq: np.ndarray, sps: int, n_symbols: int, start: int) -> np.ndarray:
     """Correlate each 11-chip window with Barker; complex symbol values."""
     chip_kernel = np.repeat(BARKER11, sps) / (11 * sps)
-    sym_len = 11 * sps
-    out = np.empty(n_symbols, complex)
-    for k in range(n_symbols):
-        seg = iq[start + k * sym_len : start + (k + 1) * sym_len]
-        if seg.size < sym_len:
-            seg = np.pad(seg, (0, sym_len - seg.size))
-        out[k] = np.dot(seg, chip_kernel)
-    return out
+    return _symbol_matrix(iq, 11 * sps, n_symbols, start) @ chip_kernel
 
 
 def _diff_bits(symbols: np.ndarray, prev: complex) -> np.ndarray:
@@ -346,71 +388,78 @@ def _diff_dibits(symbols: np.ndarray, prev: complex) -> np.ndarray:
     rot = symbols * np.conj(ref)
     phase = np.mod(np.angle(rot) + np.pi / 4, 2 * np.pi)
     quadrant = (phase // (np.pi / 2)).astype(int)  # 0,1,2,3 -> 0,90,180,270
-    inv = {0: (0, 0), 1: (0, 1), 2: (1, 1), 3: (1, 0)}
-    bits = np.empty(symbols.size * 2, dtype=np.uint8)
-    for i, q in enumerate(quadrant):
-        bits[2 * i], bits[2 * i + 1] = inv[int(q)]
-    return bits
+    return _DQPSK_INV_LUT[quadrant].ravel()
+
+
+def _build_cck_banks() -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Candidate codeword banks (phi1 = 0) for the CCK searches.
+
+    Bank rows are in the same nesting order the scalar search used, so
+    first-``argmax`` reproduces its strictly-greater tie rule.  The
+    paired bit tables give the data bits each row encodes.
+    """
+    cw55 = np.empty((4, 8), dtype=complex)
+    bits55 = np.empty((4, 2), dtype=np.uint8)
+    for d2 in (0, 1):
+        for d3 in (0, 1):
+            i = 2 * d2 + d3
+            cw55[i] = _cck_codeword(0.0, _CCK55_PHI2[d2], 0.0, d3 * np.pi)
+            bits55[i] = (d2, d3)
+
+    dibits = list(_CCK11_QPSK.items())
+    cw11 = np.empty((64, 8), dtype=complex)
+    bits11 = np.empty((64, 6), dtype=np.uint8)
+    i = 0
+    for (d23, p2) in dibits:
+        for (d45, p3) in dibits:
+            for (d67, p4) in dibits:
+                cw11[i] = _cck_codeword(0.0, p2 + np.pi / 2, p3, p4)
+                bits11[i] = (*d23, *d45, *d67)
+                i += 1
+    return cw55, bits55, cw11, bits11
+
+
+_CCK55_BANK, _CCK55_BITS, _CCK11_BANK, _CCK11_BITS = _build_cck_banks()
+
+
+def _cck_decode(
+    iq: np.ndarray,
+    sps: int,
+    n_symbols: int,
+    start: int,
+    prev: complex,
+    bank: np.ndarray,
+    bank_bits: np.ndarray,
+) -> np.ndarray:
+    """Differential-coherent CCK demodulation against a codeword bank.
+
+    Correlates every symbol with every candidate codeword in one
+    matmul, picks the best per symbol, then recovers the (d0, d1)
+    dibit from the symbol-to-symbol phase of the winning correlations.
+    """
+    if n_symbols == 0:
+        return np.zeros(0, dtype=np.uint8)
+    chips = _symbol_matrix(iq, 8 * sps, n_symbols, start).reshape(n_symbols, 8, sps).mean(axis=2)
+    corr = chips @ bank.conj().T  # (n_symbols, n_codewords)
+    best = np.argmax(np.abs(corr), axis=1)
+    corr_best = corr[np.arange(n_symbols), best]
+
+    # phi1 recovered from the correlation phase, differentially.
+    ref = np.concatenate([[prev], corr_best[:-1]])
+    rot = corr_best * np.where(np.abs(ref) == 0.0, 1.0 + 0j, np.conj(ref))
+    phase = np.mod(np.angle(rot) + np.pi / 4, 2 * np.pi)
+    quadrant = (phase // (np.pi / 2)).astype(int)
+    return np.hstack([_DQPSK_INV_LUT[quadrant], bank_bits[best]]).ravel()
 
 
 def _cck11_decode(iq: np.ndarray, sps: int, n_symbols: int, start: int, prev: complex) -> np.ndarray:
     """Differential-coherent CCK 11 Mbps demodulation (64-way search)."""
-    sym_len = 8 * sps
-    dibits = list(_CCK11_QPSK.items())
-    bits = np.empty(n_symbols * 8, dtype=np.uint8)
-    prev_sym = prev
-    for k in range(n_symbols):
-        seg = iq[start + k * sym_len : start + (k + 1) * sym_len]
-        if seg.size < sym_len:
-            seg = np.pad(seg, (0, sym_len - seg.size))
-        chips = seg.reshape(8, sps).mean(axis=1)
-        best = None
-        for (d23, p2) in dibits:
-            for (d45, p3) in dibits:
-                for (d67, p4) in dibits:
-                    cw = _cck_codeword(0.0, p2 + np.pi / 2, p3, p4)
-                    corr = np.vdot(cw, chips)
-                    if best is None or abs(corr) > abs(best[0]):
-                        best = (corr, d23, d45, d67)
-        corr, d23, d45, d67 = best
-        rot = corr * np.conj(prev_sym) if abs(prev_sym) else corr
-        phase = np.mod(np.angle(rot) + np.pi / 4, 2 * np.pi)
-        quadrant = int(phase // (np.pi / 2))
-        inv = {0: (0, 0), 1: (0, 1), 2: (1, 1), 3: (1, 0)}
-        d0, d1 = inv[quadrant]
-        bits[8 * k : 8 * k + 8] = (d0, d1, *d23, *d45, *d67)
-        prev_sym = corr
-    return bits
+    return _cck_decode(iq, sps, n_symbols, start, prev, _CCK11_BANK, _CCK11_BITS)
 
 
 def _cck55_decode(iq: np.ndarray, sps: int, n_symbols: int, start: int, prev: complex) -> np.ndarray:
     """Differential-coherent CCK 5.5 demodulation."""
-    sym_len = 8 * sps
-    bits = np.empty(n_symbols * 4, dtype=np.uint8)
-    prev_sym = prev
-    for k in range(n_symbols):
-        seg = iq[start + k * sym_len : start + (k + 1) * sym_len]
-        if seg.size < sym_len:
-            seg = np.pad(seg, (0, sym_len - seg.size))
-        # Average to chip decisions.
-        chips = seg.reshape(8, sps).mean(axis=1)
-        best = None
-        for d2 in (0, 1):
-            for d3 in (0, 1):
-                cw = _cck_codeword(0.0, _CCK55_PHI2[d2], 0.0, d3 * np.pi)
-                corr = np.vdot(cw, chips)  # conj(cw) . chips
-                if best is None or abs(corr) > abs(best[0]):
-                    best = (corr, d2, d3)
-        corr, d2, d3 = best
-        # phi1 recovered from the correlation phase, differentially.
-        rot = corr * np.conj(prev_sym) if abs(prev_sym) else corr
-        phase = np.mod(np.angle(rot) + np.pi / 4, 2 * np.pi)
-        quadrant = int(phase // (np.pi / 2))
-        inv = {0: (0, 0), 1: (0, 1), 2: (1, 1), 3: (1, 0)}
-        d0, d1 = inv[quadrant]
-        bits[4 * k : 4 * k + 4] = (d0, d1, d2, d3)
-        prev_sym = corr
-    return bits
+    return _cck_decode(iq, sps, n_symbols, start, prev, _CCK55_BANK, _CCK55_BITS)
 
 
 def demodulate(

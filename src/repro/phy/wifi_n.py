@@ -23,6 +23,7 @@ follow a pi jump -- this is what lets a tag's full-symbol phase flip
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -159,6 +160,13 @@ class WifiNConfig:
 # ----------------------------------------------------------------------
 # constellation mapping
 # ----------------------------------------------------------------------
+#: Gray-coded axis levels indexed by the packed axis bits (b0 most
+#: significant): 16QAM {00,01,10,11} -> {-3,-1,3,1}, 64QAM
+#: {000..111} -> {-7,-5,-1,-3,7,5,1,3}.
+_QAM16_LEVELS = np.array([-3.0, -1.0, 3.0, 1.0])
+_QAM64_LEVELS = np.array([-7.0, -5.0, -1.0, -3.0, 7.0, 5.0, 1.0, 3.0])
+
+
 def _map_bits(bits: np.ndarray, constellation: str) -> np.ndarray:
     """Gray-map coded bits to constellation points (unit average power)."""
     b = np.asarray(bits, dtype=np.uint8)
@@ -170,19 +178,14 @@ def _map_bits(bits: np.ndarray, constellation: str) -> np.ndarray:
         q = (2.0 * pairs[:, 1] - 1.0) / np.sqrt(2.0)
         return i + 1j * q
     if constellation == "16QAM":
-        quads = b.reshape(-1, 4)
-        level = {(0, 0): -3.0, (0, 1): -1.0, (1, 1): 1.0, (1, 0): 3.0}
-        i = np.array([level[(int(x[0]), int(x[1]))] for x in quads[:, :2].reshape(-1, 2)])
-        q = np.array([level[(int(x[0]), int(x[1]))] for x in quads[:, 2:].reshape(-1, 2)])
+        quads = b.reshape(-1, 4).astype(np.intp)
+        i = _QAM16_LEVELS[2 * quads[:, 0] + quads[:, 1]]
+        q = _QAM16_LEVELS[2 * quads[:, 2] + quads[:, 3]]
         return (i + 1j * q) / np.sqrt(10.0)
     if constellation == "64QAM":
-        groups = b.reshape(-1, 6)
-        level = {
-            (0, 0, 0): -7.0, (0, 0, 1): -5.0, (0, 1, 1): -3.0, (0, 1, 0): -1.0,
-            (1, 1, 0): 1.0, (1, 1, 1): 3.0, (1, 0, 1): 5.0, (1, 0, 0): 7.0,
-        }
-        i = np.array([level[tuple(int(v) for v in g[:3])] for g in groups])
-        q = np.array([level[tuple(int(v) for v in g[3:])] for g in groups])
+        groups = b.reshape(-1, 6).astype(np.intp)
+        i = _QAM64_LEVELS[4 * groups[:, 0] + 2 * groups[:, 1] + groups[:, 2]]
+        q = _QAM64_LEVELS[4 * groups[:, 3] + 2 * groups[:, 4] + groups[:, 5]]
         return (i + 1j * q) / np.sqrt(42.0)
     raise ValueError(f"unknown constellation {constellation}")
 
@@ -259,6 +262,7 @@ def _demap_soft(
     return llrs.ravel()
 
 
+@lru_cache(maxsize=16)
 def _ht_permutation(n_cbps: int, n_bpsc: int) -> np.ndarray:
     """HT interleaver output index for each input index k (§20.3.11.8.2)."""
     n_col = 13
@@ -302,13 +306,14 @@ def _freq_to_time(carriers: dict[int, complex]) -> np.ndarray:
 
 def _ofdm_symbol(data_points: np.ndarray, carriers: np.ndarray, pilot_polarity: float) -> np.ndarray:
     """One 80-sample OFDM symbol with CP, pilots included."""
-    spec = {int(c): data_points[i] for i, c in enumerate(carriers)}
-    for c, v in zip(PILOT_CARRIERS, PILOT_VALUES):
-        spec[int(c)] = v * pilot_polarity
-    body = _freq_to_time(spec)
+    spec = np.zeros(N_FFT, dtype=complex)
+    spec[np.asarray(carriers) % N_FFT] = data_points
+    spec[PILOT_CARRIERS % N_FFT] = PILOT_VALUES * pilot_polarity
+    body = np.fft.ifft(spec) * N_FFT / np.sqrt(52.0)
     return np.concatenate([body[-CP_LEN:], body])
 
 
+@lru_cache(maxsize=1)
 def _l_stf() -> np.ndarray:
     """Legacy short training field: 160 samples (10 x 16-sample periods)."""
     spec = {k: _S26[k + 26] for k in range(-26, 27)}
@@ -317,6 +322,7 @@ def _l_stf() -> np.ndarray:
     return period
 
 
+@lru_cache(maxsize=1)
 def _l_ltf() -> np.ndarray:
     """Legacy long training field: 32-sample GI2 + 2 x 64 samples."""
     spec = {k: _L26[k + 26] for k in range(-26, 27)}
@@ -324,6 +330,7 @@ def _l_ltf() -> np.ndarray:
     return np.concatenate([body[-32:], body, body])
 
 
+@lru_cache(maxsize=1)
 def _ht_ltf() -> np.ndarray:
     """HT long training field: one guarded symbol over 57 carriers."""
     spec = {k: _HTLTF28[k + 28] for k in range(-28, 29)}
@@ -348,6 +355,7 @@ def _legacy_bpsk_symbol(bits24: np.ndarray, *, qbpsk: bool = False) -> np.ndarra
     return _ofdm_symbol(points, LEGACY_DATA_CARRIERS, pilot_polarity=1.0)
 
 
+@lru_cache(maxsize=64)
 def _l_sig(rate_bits: int, length: int) -> np.ndarray:
     """L-SIG symbol: RATE(4) RSVD(1) LENGTH(12) PARITY(1) TAIL(6)."""
     bits = np.concatenate(
@@ -363,6 +371,7 @@ def _l_sig(rate_bits: int, length: int) -> np.ndarray:
     return _legacy_bpsk_symbol(bits)
 
 
+@lru_cache(maxsize=64)
 def _ht_sig(mcs: int, length: int) -> np.ndarray:
     """HT-SIG (2 QBPSK symbols); CRC field simplified to zeros."""
     bits = np.concatenate(
@@ -500,10 +509,10 @@ def _estimate_channel(wave: Waveform) -> np.ndarray:
     body = wave.iq[start : start + N_FFT]
     spec = np.fft.fft(body) * np.sqrt(52.0) / N_FFT
     h = np.zeros(N_FFT, dtype=complex)
-    for k in range(-28, 29):
-        ref = _HTLTF28[k + 28]
-        if ref != 0:
-            h[k % N_FFT] = spec[k % N_FFT] / ref
+    ks = np.arange(-28, 29)
+    nz = _HTLTF28 != 0
+    idx = ks[nz] % N_FFT
+    h[idx] = spec[idx] / _HTLTF28[nz]
     return h
 
 
@@ -554,7 +563,7 @@ def demodulate(
         # exactly pi -- stays in the same class and is never "fixed".
         polarity = PILOT_POLARITY[(s + 3) % PILOT_POLARITY.size]
         expected = PILOT_VALUES * polarity
-        received = np.array([eq[int(c) % N_FFT] for c in PILOT_CARRIERS])
+        received = eq[PILOT_CARRIERS % N_FFT]
         corr = np.sum(received * np.conj(expected))
         cpe_raw = float(np.angle(corr))
         k = np.round((prev_cpe - cpe_raw) / np.pi)
@@ -562,13 +571,11 @@ def demodulate(
         prev_cpe = cpe_mod
         cpes[s] = cpe_mod
         eq = eq * np.exp(-1j * cpe_mod)
-        points = np.array([eq[int(c) % N_FFT] for c in HT_DATA_CARRIERS])
+        points = eq[HT_DATA_CARRIERS % N_FFT]
         hard = _demap_symbols(points, cfg.constellation)
         coded.append(ht_deinterleave(hard, cfg.n_bpsc))
         if soft:
-            csi = np.array(
-                [np.abs(h[int(c) % N_FFT]) ** 2 for c in HT_DATA_CARRIERS]
-            )
+            csi = np.abs(h[HT_DATA_CARRIERS % N_FFT]) ** 2
             llr = _demap_soft(points, cfg.constellation, csi)
             perm = _ht_permutation(cfg.n_cbps, cfg.n_bpsc)
             soft_blocks.append(llr[perm])

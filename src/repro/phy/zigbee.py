@@ -101,10 +101,7 @@ def symbols_from_bits(bits: np.ndarray) -> np.ndarray:
 def bits_from_symbols(symbols: np.ndarray) -> np.ndarray:
     """Inverse of :func:`symbols_from_bits`."""
     arr = np.asarray(symbols, dtype=np.uint8)
-    out = np.empty(arr.size * 4, dtype=np.uint8)
-    for i, s in enumerate(arr):
-        out[4 * i : 4 * i + 4] = [(s >> j) & 1 for j in range(4)]
-    return out
+    return ((arr[:, None] >> np.arange(4, dtype=np.uint8)) & 1).astype(np.uint8).ravel()
 
 
 def _oqpsk_waveform(chips: np.ndarray, cfg: ZigbeeConfig) -> np.ndarray:
@@ -112,19 +109,17 @@ def _oqpsk_waveform(chips: np.ndarray, cfg: ZigbeeConfig) -> np.ndarray:
     bipolar = 2.0 * chips.astype(float) - 1.0
     i_chips = bipolar[0::2]
     q_chips = bipolar[1::2]
-    # Each I (and Q) chip occupies 1 us = 2 chip periods.
+    # Each I (and Q) chip occupies 1 us = 2 chip periods; consecutive
+    # same-branch pulses abut without overlap, so the waveform is just
+    # the scaled pulses laid out back to back.
     sps_ichip = 2 * cfg.samples_per_chip
     p = pulse.half_sine_pulse(sps_ichip)
-    n_total = chips.size * cfg.samples_per_chip + sps_ichip // 2
+    half = sps_ichip // 2
+    n_total = chips.size * cfg.samples_per_chip + half
     i_wave = np.zeros(n_total)
     q_wave = np.zeros(n_total)
-    for k, c in enumerate(i_chips):
-        start = k * sps_ichip
-        i_wave[start : start + sps_ichip] += c * p
-    half = sps_ichip // 2
-    for k, c in enumerate(q_chips):
-        start = k * sps_ichip + half
-        q_wave[start : start + sps_ichip] += c * p
+    i_wave[: i_chips.size * sps_ichip] = (i_chips[:, None] * p).ravel()
+    q_wave[half : half + q_chips.size * sps_ichip] = (q_chips[:, None] * p).ravel()
     return (i_wave + 1j * q_wave) / np.sqrt(2.0)
 
 
@@ -213,17 +208,19 @@ def _chip_matched_outputs(wave: Waveform, n_chips: int) -> np.ndarray:
     half = sps_ichip // 2
     p = pulse.half_sine_pulse(sps_ichip)
     p = p / np.sum(p)
-    out = np.zeros(n_chips, dtype=complex)
     iq = wave.iq
-    for k in range(n_chips):
-        if k % 2 == 0:  # I chip pulse starts at its slot
-            lo = (k // 2) * sps_ichip
-        else:  # Q chip offset by half a pulse
-            lo = (k // 2) * sps_ichip + half
-        seg = iq[lo : lo + sps_ichip]
-        n = seg.size
-        if n:
-            out[k] = complex(np.dot(seg, p[:n]))
+    n_i = (n_chips + 1) // 2
+    n_q = n_chips // 2
+    # I pulses tile [0, n_i * len); Q pulses the same grid offset by
+    # half a pulse.  Zero-padding the capture keeps truncated trailing
+    # chips equal to the short-segment dot product.
+    needed = half + n_q * sps_ichip if n_q else n_i * sps_ichip
+    needed = max(needed, n_i * sps_ichip)
+    padded = iq if iq.size >= needed else np.pad(iq, (0, needed - iq.size))
+    out = np.zeros(n_chips, dtype=complex)
+    out[0::2] = padded[: n_i * sps_ichip].reshape(n_i, sps_ichip) @ p
+    if n_q:
+        out[1::2] = padded[half : half + n_q * sps_ichip].reshape(n_q, sps_ichip) @ p
     return out
 
 

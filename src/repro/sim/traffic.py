@@ -40,7 +40,15 @@ def random_packet(
     *,
     n_payload_bytes: int | None = None,
 ) -> Waveform:
-    """One excitation packet with a random payload."""
+    """One excitation packet with a random payload.
+
+    The payload is drawn fresh from ``rng`` on every call; the
+    payload-independent packet head is cheap because the modulators
+    memoize it (the 802.11b PLCP preamble+header chips and the 802.11n
+    training/signaling fields are cached per configuration -- see
+    :mod:`repro.core.wavecache`), so repeated calls only pay for
+    modulating the new payload.
+    """
     n = n_payload_bytes
     if n is None:
         n = DEFAULT_PAYLOAD_BYTES[protocol]

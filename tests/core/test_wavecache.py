@@ -1,0 +1,125 @@
+"""Waveform/template cache behavior: LRU policy, stats, invalidation."""
+
+import numpy as np
+import pytest
+
+from repro.core import wavecache
+from repro.core.adc import Adc
+from repro.core.templates import (
+    _REFERENCE_CACHE,
+    Template,
+    TemplateBank,
+    reference_waveform,
+)
+from repro.phy.protocols import Protocol
+
+
+class TestLruCache:
+    def test_hit_miss_counters(self):
+        c = wavecache.LruCache(maxsize=4)
+        assert c.get("a") is None
+        c.put("a", 1)
+        assert c.get("a") == 1
+        assert c.stats() == {
+            "hits": 1, "misses": 1, "evictions": 0, "size": 1, "maxsize": 4,
+        }
+
+    def test_lru_eviction_order(self):
+        c = wavecache.LruCache(maxsize=2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.get("a")  # refresh a; b becomes LRU
+        c.put("c", 3)
+        assert "b" not in c and "a" in c and "c" in c
+        assert c.evictions == 1
+
+    def test_get_or_create_builds_once(self):
+        c = wavecache.LruCache(maxsize=4)
+        calls = []
+        for _ in range(3):
+            c.get_or_create("k", lambda: calls.append(1) or "v")
+        assert len(calls) == 1
+        assert c.hits == 2 and c.misses == 1
+
+    def test_clear_keeps_counters(self):
+        c = wavecache.LruCache(maxsize=2)
+        c.put("a", 1)
+        c.get("a")
+        c.clear()
+        assert len(c) == 0 and c.hits == 1
+
+    def test_rejects_bad_maxsize(self):
+        with pytest.raises(ValueError):
+            wavecache.LruCache(maxsize=0)
+
+
+class TestRegistry:
+    def test_cache_stats_covers_named_and_phy_caches(self):
+        reference_waveform(Protocol.BLE)  # populate at least one entry
+        stats = wavecache.cache_stats()
+        assert "core.templates.reference_waveform" in stats
+        assert "phy.wifi_b.cached_head" in stats
+        assert "phy.wifi_n.l_stf" in stats
+        for s in stats.values():
+            assert set(s) == {"hits", "misses", "evictions", "size", "maxsize"}
+
+    def test_clear_caches_empties_everything(self):
+        reference_waveform(Protocol.ZIGBEE)
+        assert len(_REFERENCE_CACHE) > 0
+        wavecache.clear_caches()
+        assert len(_REFERENCE_CACHE) == 0
+        assert all(s["size"] == 0 for s in wavecache.cache_stats().values())
+
+
+class TestReferenceWaveformCache:
+    def test_copies_are_independent(self):
+        a = reference_waveform(Protocol.BLE)
+        b = reference_waveform(Protocol.BLE)
+        assert a is not b and a.iq is not b.iq
+        assert np.array_equal(a.iq, b.iq)
+        a.iq[:] = 0.0
+        a.annotations["poisoned"] = True
+        c = reference_waveform(Protocol.BLE)
+        assert np.any(c.iq != 0.0)
+        assert "poisoned" not in c.annotations
+
+    def test_distinct_payload_sizes_are_distinct_keys(self):
+        a = reference_waveform(Protocol.ZIGBEE, n_payload_bytes=8)
+        b = reference_waveform(Protocol.ZIGBEE, n_payload_bytes=16)
+        assert a.n_samples != b.n_samples
+
+    def test_cache_hits_recorded(self):
+        wavecache.clear_caches()
+        h0 = _REFERENCE_CACHE.hits
+        reference_waveform(Protocol.WIFI_B)
+        reference_waveform(Protocol.WIFI_B)
+        assert _REFERENCE_CACHE.hits == h0 + 1
+
+
+class TestStackedTemplates:
+    def test_cached_and_invalidated_on_replacement(self):
+        bank = TemplateBank.build(Adc(sample_rate=2.5e6))
+        p1, m1 = bank.stacked(quantized=True)
+        p2, m2 = bank.stacked(quantized=True)
+        assert m1 is m2  # cache hit
+        assert p1 == tuple(bank.templates)
+        assert m1.shape == (len(bank.templates), bank.l_m)
+        # Replacing a template must invalidate the stacked matrix.
+        old = bank.templates[Protocol.BLE]
+        bank.templates[Protocol.BLE] = Template(
+            protocol=Protocol.BLE,
+            l_p=old.l_p,
+            matching=old.matching * -1.0,
+            matching_q=old.matching_q * -1.0,
+        )
+        _, m3 = bank.stacked(quantized=True)
+        assert m3 is not m1
+        assert not np.array_equal(m3, m1)
+
+    def test_quantized_and_full_coexist(self):
+        bank = TemplateBank.build(Adc(sample_rate=2.5e6))
+        _, mq = bank.stacked(quantized=True)
+        _, mf = bank.stacked(quantized=False)
+        _, mq2 = bank.stacked(quantized=True)
+        assert mq is mq2  # alternating flags must not thrash
+        assert mq.shape == mf.shape

@@ -1,0 +1,227 @@
+"""Seed (pre-vectorization) reference implementations.
+
+Verbatim copies of the pure-Python/loop kernels as they existed before
+the performance rewrite.  The equivalence tests in
+``tests/phy/test_kernel_equivalence.py`` and the benchmark-regression
+harness compare the vectorized kernels against these, so keep them
+frozen: they define the contract the fast paths must reproduce
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy.convcode import CONSTRAINT, ERASURE, G0, G1
+
+_N_STATES = 1 << (CONSTRAINT - 1)  # 64
+
+_DQPSK_PHASE = {(0, 0): 0.0, (0, 1): np.pi / 2, (1, 1): np.pi, (1, 0): 3 * np.pi / 2}
+
+
+def _build_tables() -> tuple[np.ndarray, np.ndarray]:
+    next_state = np.empty((_N_STATES, 2), dtype=np.int64)
+    outputs = np.empty((_N_STATES, 2, 2), dtype=np.uint8)
+    for state in range(_N_STATES):
+        for b in (0, 1):
+            window = (b << 0) | (state << 1)
+            a = bin(window & G0).count("1") & 1
+            c = bin(window & G1).count("1") & 1
+            next_state[state, b] = window & (_N_STATES - 1)
+            outputs[state, b, 0] = a
+            outputs[state, b, 1] = c
+    return next_state, outputs
+
+
+_NEXT, _OUT = _build_tables()
+
+_PREV = np.full((_N_STATES, 2, 2), -1, dtype=np.int64)
+for _s in range(_N_STATES):
+    for _b in (0, 1):
+        _dst = _NEXT[_s, _b]
+        slot = 0 if _PREV[_dst, 0, 0] == -1 else 1
+        _PREV[_dst, slot, 0] = _s
+        _PREV[_dst, slot, 1] = _b
+
+
+def convcode_encode(bits: np.ndarray | list[int]) -> np.ndarray:
+    """Seed rate-1/2 encoder (per-bit Python loop)."""
+    arr = np.asarray(bits, dtype=np.uint8)
+    if arr.ndim != 1:
+        raise ValueError("bits must be 1-D")
+    out = np.empty(2 * arr.size, dtype=np.uint8)
+    state = 0
+    for i, b in enumerate(arr):
+        window = (int(b) << 0) | (state << 1)
+        a = bin(window & G0).count("1") & 1
+        c = bin(window & G1).count("1") & 1
+        out[2 * i] = a
+        out[2 * i + 1] = c
+        state = window & 0x3F
+    return out
+
+
+def viterbi_decode(coded: np.ndarray | list[int], *, n_info: int | None = None) -> np.ndarray:
+    """Seed hard-decision Viterbi (per-step ACS loop)."""
+    arr = np.asarray(coded, dtype=np.uint8)
+    if arr.size % 2:
+        arr = np.concatenate([arr, np.array([ERASURE], dtype=np.uint8)])
+    n_steps = arr.size // 2
+    if n_info is None:
+        n_info = n_steps
+    if n_steps == 0:
+        return np.zeros(0, dtype=np.uint8)
+
+    pairs = arr.reshape(n_steps, 2)
+    metrics = np.full(_N_STATES, 1 << 30, dtype=np.int64)
+    metrics[0] = 0
+    survivor = np.empty((n_steps, _N_STATES), dtype=np.int64)
+
+    src0 = _PREV[:, 0, 0]
+    bit0 = _PREV[:, 0, 1]
+    src1 = _PREV[:, 1, 0]
+    bit1 = _PREV[:, 1, 1]
+    out0 = _OUT[src0, bit0]
+    out1 = _OUT[src1, bit1]
+
+    for t in range(n_steps):
+        rx = pairs[t]
+        w0 = 0 if rx[0] == ERASURE else 1
+        w1 = 0 if rx[1] == ERASURE else 1
+        branch0 = w0 * (out0[:, 0] != rx[0]).astype(np.int64) + w1 * (out0[:, 1] != rx[1])
+        branch1 = w0 * (out1[:, 0] != rx[0]).astype(np.int64) + w1 * (out1[:, 1] != rx[1])
+        cand0 = metrics[src0] + branch0
+        cand1 = metrics[src1] + branch1
+        take1 = cand1 < cand0
+        metrics = np.where(take1, cand1, cand0)
+        survivor[t] = np.where(take1, (src1 << 1) | bit1, (src0 << 1) | bit0)
+
+    state = int(np.argmin(metrics))
+    decoded = np.empty(n_steps, dtype=np.uint8)
+    for t in range(n_steps - 1, -1, -1):
+        packed = survivor[t, state]
+        decoded[t] = packed & 1
+        state = int(packed >> 1)
+    return decoded[:n_info]
+
+
+def viterbi_decode_soft(llrs: np.ndarray, *, n_info: int | None = None) -> np.ndarray:
+    """Seed soft-decision Viterbi (per-step ACS loop)."""
+    arr = np.asarray(llrs, dtype=float)
+    if arr.size % 2:
+        arr = np.concatenate([arr, [0.0]])
+    n_steps = arr.size // 2
+    if n_info is None:
+        n_info = n_steps
+    if n_steps == 0:
+        return np.zeros(0, dtype=np.uint8)
+    pairs = arr.reshape(n_steps, 2)
+
+    metrics = np.full(_N_STATES, 1e18)
+    metrics[0] = 0.0
+    survivor = np.empty((n_steps, _N_STATES), dtype=np.int64)
+
+    src0 = _PREV[:, 0, 0]
+    bit0 = _PREV[:, 0, 1]
+    src1 = _PREV[:, 1, 0]
+    bit1 = _PREV[:, 1, 1]
+    exp0 = 2.0 * _OUT[src0, bit0].astype(float) - 1.0
+    exp1 = 2.0 * _OUT[src1, bit1].astype(float) - 1.0
+
+    for t in range(n_steps):
+        rx = pairs[t]
+        branch0 = -(exp0[:, 0] * rx[0] + exp0[:, 1] * rx[1])
+        branch1 = -(exp1[:, 0] * rx[0] + exp1[:, 1] * rx[1])
+        cand0 = metrics[src0] + branch0
+        cand1 = metrics[src1] + branch1
+        take1 = cand1 < cand0
+        metrics = np.where(take1, cand1, cand0)
+        survivor[t] = np.where(take1, (src1 << 1) | bit1, (src0 << 1) | bit0)
+
+    state = int(np.argmin(metrics))
+    decoded = np.empty(n_steps, dtype=np.uint8)
+    for t in range(n_steps - 1, -1, -1):
+        packed = survivor[t, state]
+        decoded[t] = packed & 1
+        state = int(packed >> 1)
+    return decoded[:n_info]
+
+
+def dqpsk_phases(bits: np.ndarray, phase0: float = 0.0) -> np.ndarray:
+    """Seed DQPSK mapper (per-dibit dict-lookup comprehension)."""
+    arr = np.asarray(bits, dtype=np.uint8)
+    if arr.size % 2:
+        raise ValueError("DQPSK needs an even number of bits")
+    increments = np.array(
+        [_DQPSK_PHASE[(int(arr[i]), int(arr[i + 1]))] for i in range(0, arr.size, 2)]
+    )
+    return phase0 + np.cumsum(increments)
+
+
+def diff_dibits(symbols: np.ndarray, prev: complex) -> np.ndarray:
+    """Seed DQPSK differential decision (per-symbol dict lookups)."""
+    ref = np.concatenate([[prev], symbols[:-1]])
+    rot = symbols * np.conj(ref)
+    phase = np.mod(np.angle(rot) + np.pi / 4, 2 * np.pi)
+    quadrant = (phase // (np.pi / 2)).astype(int)
+    inv = {0: (0, 0), 1: (0, 1), 2: (1, 1), 3: (1, 0)}
+    bits = np.empty(symbols.size * 2, dtype=np.uint8)
+    for i, q in enumerate(quadrant):
+        bits[2 * i], bits[2 * i + 1] = inv[int(q)]
+    return bits
+
+
+def scramble_80211b(bits: np.ndarray | list[int], *, seed: int = 0x6C) -> np.ndarray:
+    """Seed 802.11b self-synchronizing scrambler (per-bit loop)."""
+    arr = np.asarray(bits, dtype=np.uint8)
+    state = seed & 0x7F
+    out = np.empty_like(arr)
+    for i, b in enumerate(arr):
+        fb = ((state >> 3) & 1) ^ ((state >> 6) & 1)
+        s = int(b) ^ fb
+        out[i] = s
+        state = ((state << 1) | s) & 0x7F
+    return out
+
+
+def descramble_80211b(bits: np.ndarray | list[int], *, seed: int = 0x6C) -> np.ndarray:
+    """Seed 802.11b descrambler (per-bit loop)."""
+    arr = np.asarray(bits, dtype=np.uint8)
+    state = seed & 0x7F
+    out = np.empty_like(arr)
+    for i, s in enumerate(arr):
+        fb = ((state >> 3) & 1) ^ ((state >> 6) & 1)
+        out[i] = int(s) ^ fb
+        state = ((state << 1) | int(s)) & 0x7F
+    return out
+
+
+def score_capture(codes, bank, *, quantized: bool, offsets: tuple[int, ...] = (0,)):
+    """Seed correlation scoring (per-template matmul loop)."""
+    arr = np.asarray(codes, dtype=float)
+    l_p = bank.l_p
+    l_m = bank.l_m
+    valid = [o for o in offsets if 0 <= o and o + l_p + l_m <= arr.size]
+    scores = {p: -1.0 for p in bank.templates}
+    if not valid:
+        return scores
+
+    win = np.lib.stride_tricks.sliding_window_view(arr, l_p + l_m)
+    sel = win[np.asarray(valid)]
+    pre = sel[:, :l_p]
+    window = sel[:, l_p:]
+    dc = pre[:, l_p // 2 :].mean(axis=1, keepdims=True)
+    if quantized:
+        q = np.where(window - dc >= 0.0, 1.0, -1.0)
+        for p, t in bank.templates.items():
+            c = q @ t.matching_q / t.matching_q.size
+            scores[p] = float(c.max())
+    else:
+        centered = window - window.mean(axis=1, keepdims=True)
+        norms = np.linalg.norm(centered, axis=1, keepdims=True)
+        norms = np.where(norms <= 1e-12, 1.0, norms)
+        unit = centered / norms
+        for p, t in bank.templates.items():
+            c = unit @ t.matching
+            scores[p] = float(c.max())
+    return scores
