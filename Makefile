@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-primitives bench-tables perf-report examples lint clean
+.PHONY: install test test-fast bench bench-primitives bench-tables perf-report examples lint typecheck check clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -13,6 +13,21 @@ test:
 # Skip multi-process / long-running tests (marked @pytest.mark.slow).
 test-fast:
 	$(PYTHON) -m pytest tests/ -m "not slow"
+
+# Determinism/dtype AST linter (docs/STATIC_ANALYSIS.md).
+lint:
+	$(PYTHON) -m tools.reprolint src/
+
+# mypy (strict on repro.phy/core/channel/sim per pyproject.toml).
+# Skips with a notice when mypy is not installed, so `make check`
+# stays usable in minimal environments.
+typecheck:
+	@$(PYTHON) -c "import mypy" 2>/dev/null \
+		&& $(PYTHON) -m mypy \
+		|| echo "typecheck: mypy not installed, skipping (pip install mypy)"
+
+# The pre-commit gate: what CI runs on every push/PR.
+check: lint typecheck test-fast
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

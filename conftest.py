@@ -1,0 +1,20 @@
+"""Repo-root pytest configuration.
+
+Makes ``repro`` importable from a clean checkout (no ``pip install``)
+by putting ``src/`` on ``sys.path`` — the same layout the tier-1
+command uses via ``PYTHONPATH=src``.  Also exported via the
+``PYTHONPATH`` environment variable so tests that launch examples as
+subprocesses inherit it.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+_existing = os.environ.get("PYTHONPATH", "")
+if _SRC not in _existing.split(os.pathsep):
+    os.environ["PYTHONPATH"] = _SRC + (os.pathsep + _existing if _existing else "")

@@ -21,6 +21,7 @@ from repro.channel.link import PROTOCOL_LINK_DEFAULTS, BackscatterLink, ber_dbps
 from repro.channel.noise import noise_floor_dbm
 from repro.channel.occlusion import Material, OccludedChannel
 from repro.phy.protocols import Protocol
+from repro.rng import fallback_rng
 from repro.sim.traffic import packet_airtime_s
 
 __all__ = ["Hitchhike"]
@@ -49,7 +50,7 @@ class Hitchhike:
     #: meter of range (Fig 9b: offsets grow to ~8 symbols).
     offset_spread_per_m: float = 0.42
     _rng: np.random.Generator = field(
-        default_factory=lambda: np.random.default_rng(), repr=False
+        default_factory=lambda: fallback_rng(None), repr=False
     )
 
     # ------------------------------------------------------------------

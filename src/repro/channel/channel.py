@@ -12,6 +12,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.channel.noise import complex_noise
+from repro.rng import fallback_rng
 from repro.channel.pathloss import db_to_gain
 from repro.phy.waveform import Waveform
 
@@ -55,7 +56,7 @@ class Channel:
             out.center_offset_hz -= self.cfo_hz  # CFO is an impairment,
             # not a channel retune; keep the nominal center annotation.
         if self.noise_power_dbm is not None:
-            rng = rng or np.random.default_rng()
+            rng = fallback_rng(rng)
             power_mw = 10.0 ** (self.noise_power_dbm / 10.0)
             out.iq = out.iq + complex_noise(out.n_samples, power_mw, rng)
         return out

@@ -17,6 +17,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.types import ComplexIQ
+
 from repro.phy.waveform import Waveform
 
 __all__ = [
@@ -55,7 +57,7 @@ class MultipathChannel:
     seed: int = 0
     _cache: dict[float, np.ndarray] = field(default_factory=dict, repr=False)
 
-    def taps(self, sample_rate: float) -> np.ndarray:
+    def taps(self, sample_rate: float) -> ComplexIQ:
         """FIR taps at ``sample_rate`` (cached per rate)."""
         if sample_rate in self._cache:
             return self._cache[sample_rate]
@@ -81,6 +83,6 @@ class MultipathChannel:
         out.iq = np.convolve(wave.iq, taps)[: wave.n_samples]
         return out
 
-    def frequency_response(self, sample_rate: float, n_fft: int = 64) -> np.ndarray:
+    def frequency_response(self, sample_rate: float, n_fft: int = 64) -> ComplexIQ:
         """Channel transfer function over ``n_fft`` bins (diagnostics)."""
         return np.fft.fft(self.taps(sample_rate), n_fft)

@@ -9,7 +9,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.types import ComplexIQ
+
 from repro.phy.waveform import Waveform
+from repro.rng import fallback_rng
 
 __all__ = ["noise_floor_dbm", "awgn", "complex_noise"]
 
@@ -27,7 +30,7 @@ def noise_floor_dbm(bandwidth_hz: float, noise_figure_db: float = DEFAULT_NOISE_
     return THERMAL_NOISE_DBM_PER_HZ + 10.0 * np.log10(bandwidth_hz) + noise_figure_db
 
 
-def complex_noise(n: int, power_mw: float, rng: np.random.Generator) -> np.ndarray:
+def complex_noise(n: int, power_mw: float, rng: np.random.Generator) -> ComplexIQ:
     """Circular complex Gaussian samples of mean power ``power_mw``."""
     if power_mw < 0:
         raise ValueError("noise power must be non-negative")
@@ -50,7 +53,7 @@ def awgn(
     """
     if (snr_db is None) == (noise_power_dbm is None):
         raise ValueError("give exactly one of snr_db or noise_power_dbm")
-    rng = rng or np.random.default_rng()
+    rng = fallback_rng(rng)
     if snr_db is not None:
         signal_power = wave.mean_power()
         noise_power = signal_power / (10.0 ** (snr_db / 10.0))

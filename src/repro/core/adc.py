@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.types import FloatArray
 from scipy import signal as sp_signal
 
 from repro.core.rectifier import RectifierOutput
@@ -32,7 +34,7 @@ class AdcCapture:
     v_ref: float
     n_bits: int
 
-    def volts(self) -> np.ndarray:
+    def volts(self) -> FloatArray:
         """Codes converted back to volts."""
         full_scale = (1 << self.n_bits) - 1
         return self.codes.astype(float) * self.v_ref / full_scale
@@ -61,7 +63,7 @@ class Adc:
         if self.v_ref <= 0:
             raise ValueError("v_ref must be positive")
 
-    def _bandlimit(self, analog: RectifierOutput) -> np.ndarray:
+    def _bandlimit(self, analog: RectifierOutput) -> FloatArray:
         """Anti-aliasing low-pass of the ADC driver stage.
 
         The converter's input network band-limits the envelope to

@@ -1,0 +1,284 @@
+"""Lightweight runtime array contracts for PHY/matcher entry points.
+
+The reproduction's invariants are *shape and dtype* invariants: a
+ZigBee symbol is exactly 32 chips, a waveform is 1-D ``complex128``,
+an on-air bit array is ``uint8``.  The :func:`shapes` and
+:func:`dtypes` decorators make those contracts executable without
+taxing the hot path:
+
+* **Disabled (the default)** the decorators return the wrapped
+  function *unchanged* — zero wrapper, zero overhead, byte-identical
+  behavior.  Enable by setting ``REPRO_CONTRACTS=1`` in the
+  environment before import, or calling :func:`set_enabled` before the
+  decorated module is imported (tests use :func:`checked` instead,
+  which binds eagerly).
+* **Enabled** each call validates ndarray positional arguments (and
+  optionally the return value) and raises :class:`ContractError` with
+  the offending argument, expected and actual shape/dtype.
+
+Shape mini-language (``shapes``)::
+
+    @shapes("n_sym,64 -> n_sym*80")     # (n_sym, 64) in, (n_sym*80,) out
+    @shapes("n ; n -> n")               # two 1-D inputs of equal length
+    @shapes("n_bits ->")                # input-only contract
+
+Dimensions are integer literals (checked exactly), symbol names (bound
+on first sight, checked for consistency after), ``_`` (wildcard), or
+arithmetic over previously-bound symbols (``n_sym*80``, ``n+2``) —
+expressions are evaluated with the bound symbols once all inputs are
+seen, so they are most useful on the output side.  ``;`` separates
+consecutive ndarray positional arguments; non-array positionals are
+skipped when matching specs to arguments.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Iterator, Sequence, TypeVar
+
+import numpy as np
+
+__all__ = [
+    "ContractError",
+    "enabled",
+    "set_enabled",
+    "shapes",
+    "dtypes",
+    "checked",
+]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_CONTRACTS", "0").strip().lower() in _TRUTHY
+
+
+_ENABLED: bool = _env_enabled()
+
+
+class ContractError(TypeError):
+    """An array argument or return value violated a declared contract."""
+
+
+def enabled() -> bool:
+    """Whether contract decorators are active (``REPRO_CONTRACTS``)."""
+    return _ENABLED
+
+
+def set_enabled(flag: bool) -> None:
+    """Toggle contract checking for *subsequently decorated* functions.
+
+    Functions decorated while checking was disabled stay unwrapped (the
+    zero-overhead guarantee cuts both ways); use :func:`checked` to
+    build an always-validating wrapper explicitly, e.g. in tests.
+    """
+    global _ENABLED
+    _ENABLED = bool(flag)
+
+
+# ----------------------------------------------------------------------
+# shape spec parsing
+# ----------------------------------------------------------------------
+def _parse_spec(spec: str) -> tuple[list[list[str]], list[str] | None]:
+    """``"n,64 ; m -> n*80"`` -> ([["n","64"], ["m"]], ["n*80"])."""
+    if "->" in spec:
+        lhs, _, rhs = spec.partition("->")
+        rhs = rhs.strip()
+        out_dims = [d.strip() for d in rhs.split(",") if d.strip()] if rhs else None
+    else:
+        lhs, out_dims = spec, None
+    in_specs: list[list[str]] = []
+    lhs = lhs.strip()
+    if lhs:
+        for arg_spec in lhs.split(";"):
+            dims = [d.strip() for d in arg_spec.split(",") if d.strip()]
+            if not dims:
+                raise ValueError(f"empty argument spec in shape contract {spec!r}")
+            in_specs.append(dims)
+    return in_specs, out_dims
+
+
+def _check_dims(
+    dims: Sequence[str],
+    shape: tuple[int, ...],
+    binding: dict[str, int],
+    *,
+    where: str,
+    fname: str,
+) -> list[tuple[str, int]]:
+    """Match one shape against its dim specs; returns deferred exprs."""
+    if len(shape) != len(dims):
+        raise ContractError(
+            f"{fname}: {where} has {len(shape)} dimension(s) {shape}, "
+            f"contract expects {len(dims)} ({','.join(dims)})"
+        )
+    deferred: list[tuple[str, int]] = []
+    for dim, actual in zip(dims, shape):
+        if dim == "_":
+            continue
+        if dim.isdigit():
+            if actual != int(dim):
+                raise ContractError(
+                    f"{fname}: {where} dimension is {actual}, contract requires {dim}"
+                )
+        elif dim.isidentifier():
+            bound = binding.setdefault(dim, actual)
+            if bound != actual:
+                raise ContractError(
+                    f"{fname}: {where} dimension {dim}={actual} conflicts "
+                    f"with earlier binding {dim}={bound}"
+                )
+        else:
+            # Arithmetic over symbols: evaluate once all inputs bound.
+            deferred.append((dim, actual))
+    return deferred
+
+
+def _eval_deferred(
+    deferred: Sequence[tuple[str, int]],
+    binding: dict[str, int],
+    *,
+    fname: str,
+) -> None:
+    for expr, actual in deferred:
+        try:
+            expected = eval(expr, {"__builtins__": {}}, dict(binding))  # noqa: S307
+        except Exception as exc:
+            raise ContractError(
+                f"{fname}: cannot evaluate shape expression {expr!r} "
+                f"with bindings {binding}: {exc}"
+            ) from exc
+        if int(expected) != actual:
+            raise ContractError(
+                f"{fname}: dimension is {actual}, contract expression "
+                f"{expr!r} = {int(expected)} (bindings {binding})"
+            )
+
+
+def _iter_arrays(args: tuple[Any, ...]) -> Iterator[np.ndarray]:
+    for a in args:
+        if isinstance(a, np.ndarray):
+            yield a
+
+
+def _shape_wrapper(spec: str, fn: F, *, force: bool = False) -> F:
+    import functools
+
+    in_specs, out_dims = _parse_spec(spec)
+    fname = getattr(fn, "__qualname__", repr(fn))
+
+    @functools.wraps(fn)
+    def wrapper(*args: Any, **kwargs: Any) -> Any:
+        if not (_ENABLED or force):
+            return fn(*args, **kwargs)
+        binding: dict[str, int] = {}
+        deferred: list[tuple[str, int]] = []
+        arrays = list(_iter_arrays(args))
+        if len(arrays) < len(in_specs):
+            raise ContractError(
+                f"{fname}: contract declares {len(in_specs)} array "
+                f"argument(s), call supplied {len(arrays)}"
+            )
+        for i, (dims, arr) in enumerate(zip(in_specs, arrays)):
+            deferred += _check_dims(
+                dims, arr.shape, binding, where=f"array argument {i}", fname=fname
+            )
+        _eval_deferred(deferred, binding, fname=fname)
+        result = fn(*args, **kwargs)
+        if out_dims is not None and isinstance(result, np.ndarray):
+            out_deferred = _check_dims(
+                out_dims, result.shape, binding, where="return value", fname=fname
+            )
+            _eval_deferred(out_deferred, binding, fname=fname)
+        return result
+
+    return wrapper  # type: ignore[return-value]
+
+
+def _dtype_wrapper(
+    arg_dtypes: tuple[Any, ...], out: Any, fn: F, *, force: bool = False
+) -> F:
+    import functools
+
+    fname = getattr(fn, "__qualname__", repr(fn))
+    expected = tuple(np.dtype(d) if d is not None else None for d in arg_dtypes)
+    out_dtype = np.dtype(out) if out is not None else None
+
+    @functools.wraps(fn)
+    def wrapper(*args: Any, **kwargs: Any) -> Any:
+        if not (_ENABLED or force):
+            return fn(*args, **kwargs)
+        arrays = list(_iter_arrays(args))
+        for i, (want, arr) in enumerate(zip(expected, arrays)):
+            if want is not None and arr.dtype != want:
+                raise ContractError(
+                    f"{fname}: array argument {i} has dtype {arr.dtype}, "
+                    f"contract requires {want}"
+                )
+        result = fn(*args, **kwargs)
+        if out_dtype is not None and isinstance(result, np.ndarray):
+            if result.dtype != out_dtype:
+                raise ContractError(
+                    f"{fname}: return value has dtype {result.dtype}, "
+                    f"contract requires {out_dtype}"
+                )
+        return result
+
+    return wrapper  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# public decorators
+# ----------------------------------------------------------------------
+def shapes(spec: str) -> Callable[[F], F]:
+    """Declare a shape contract; no-op unless ``REPRO_CONTRACTS`` is set.
+
+    See the module docstring for the mini-language.  When checking is
+    disabled at decoration time the function is returned *unchanged*.
+    """
+    _parse_spec(spec)  # fail fast on malformed specs even when disabled
+
+    def decorate(fn: F) -> F:
+        if not _ENABLED:
+            return fn
+        return _shape_wrapper(spec, fn)
+
+    return decorate
+
+
+def dtypes(*arg_dtypes: Any, out: Any = None) -> Callable[[F], F]:
+    """Declare dtypes for consecutive ndarray positional args (and return).
+
+    ``None`` entries skip an array.  When checking is disabled at
+    decoration time the function is returned *unchanged*.
+    """
+
+    def decorate(fn: F) -> F:
+        if not _ENABLED:
+            return fn
+        return _dtype_wrapper(arg_dtypes, out, fn)
+
+    return decorate
+
+
+def checked(
+    fn: Callable[..., Any],
+    *,
+    shape: str | None = None,
+    arg_dtypes: tuple[Any, ...] = (),
+    out: Any = None,
+) -> Callable[..., Any]:
+    """Build an *always-on* contract wrapper around ``fn``.
+
+    Unlike the decorators, this validates regardless of the global
+    toggle — intended for tests and debugging sessions.
+    """
+    wrapped = fn
+    if arg_dtypes or out is not None:
+        wrapped = _dtype_wrapper(tuple(arg_dtypes), out, wrapped, force=True)
+    if shape is not None:
+        wrapped = _shape_wrapper(shape, wrapped, force=True)
+    return wrapped

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.types import BitArray
+
 __all__ = ["hamming74_encode", "hamming74_decode", "repetition_encode", "repetition_decode"]
 
 # Generator: data bits d0..d3 -> codeword (p0 p1 d0 p2 d1 d2 d3),
@@ -21,7 +23,7 @@ _PARITY_SETS = {
 }
 
 
-def hamming74_encode(bits: np.ndarray | list[int]) -> np.ndarray:
+def hamming74_encode(bits: np.ndarray | list[int]) -> BitArray:
     """Encode a bit stream (padded to a nibble multiple) to Hamming(7,4)."""
     arr = np.asarray(bits, dtype=np.uint8)
     pad = (-arr.size) % 4
@@ -38,7 +40,7 @@ def hamming74_encode(bits: np.ndarray | list[int]) -> np.ndarray:
     return out
 
 
-def hamming74_decode(coded: np.ndarray | list[int]) -> np.ndarray:
+def hamming74_decode(coded: np.ndarray | list[int]) -> BitArray:
     """Decode with single-error correction per 7-bit block."""
     arr = np.asarray(coded, dtype=np.uint8)
     if arr.size % 7:
@@ -60,14 +62,14 @@ def hamming74_decode(coded: np.ndarray | list[int]) -> np.ndarray:
     return out
 
 
-def repetition_encode(bits: np.ndarray | list[int], n: int) -> np.ndarray:
+def repetition_encode(bits: np.ndarray | list[int], n: int) -> BitArray:
     """n-fold repetition (the paper's baseline tag-data protection)."""
     if n < 1:
         raise ValueError("n must be >= 1")
     return np.repeat(np.asarray(bits, dtype=np.uint8), n)
 
 
-def repetition_decode(coded: np.ndarray | list[int], n: int) -> np.ndarray:
+def repetition_decode(coded: np.ndarray | list[int], n: int) -> BitArray:
     """Majority-vote decode of n-fold repetition."""
     arr = np.asarray(coded, dtype=np.uint8)
     if n < 1 or arr.size % n:

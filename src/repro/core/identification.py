@@ -9,8 +9,12 @@ length, and matching rule are all configuration.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # runtime import stays local to avoid a cycle
+    from repro.core.resources import CorrelatorDesign
 
 from repro.core.adc import Adc
 from repro.core.matching import (
@@ -22,6 +26,7 @@ from repro.core.rectifier import ClampRectifier, _EnvelopeRectifier
 from repro.core.templates import BASE_WINDOW_US, TemplateBank
 from repro.phy.protocols import Protocol
 from repro.phy.waveform import Waveform
+from repro.rng import fallback_rng
 
 __all__ = ["IdentificationConfig", "ProtocolIdentifier", "IdentificationResult"]
 
@@ -133,7 +138,7 @@ class ProtocolIdentifier:
             power = incident_power_dbm
         else:
             power = cfg.incident_power_dbm
-        rng = rng or np.random.default_rng()
+        rng = fallback_rng(rng)
         if sampling_phase_s is None:
             sampling_phase_s = float(rng.uniform(0.0, 1.0 / cfg.sample_rate_hz))
         analog = self.rectifier.rectify(wave, power, rng=rng)
@@ -151,7 +156,7 @@ class ProtocolIdentifier:
             offsets=offsets,
         )
 
-    def power_profile(self):
+    def power_profile(self) -> "CorrelatorDesign":
         """FPGA resource/power estimate of this configuration (the
         Table 2/5 models applied to the live pipeline settings)."""
         from repro.core.resources import CorrelatorDesign
@@ -179,7 +184,7 @@ class ProtocolIdentifier:
         edge is found.
         """
         cfg = self.config
-        rng = rng or np.random.default_rng()
+        rng = fallback_rng(rng)
         power = (
             incident_power_dbm
             if incident_power_dbm is not None

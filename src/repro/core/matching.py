@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core import contracts
 from repro.core.templates import TemplateBank
 from repro.phy.protocols import Protocol
 
@@ -61,6 +62,7 @@ DEFAULT_THRESHOLDS: dict[Protocol, float] = {
 }
 
 
+@contracts.shapes("n_codes ->")
 def score_capture(
     codes: np.ndarray,
     bank: TemplateBank,

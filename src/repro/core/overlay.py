@@ -126,7 +126,7 @@ class OverlayCodec:
     """Builds overlay carriers, places tag flips, and decodes both data
     streams from a single receiver's symbol stream."""
 
-    def __init__(self, config: OverlayConfig):
+    def __init__(self, config: OverlayConfig) -> None:
         self.config = config
 
     # ------------------------------------------------------------------

@@ -43,7 +43,7 @@ class OverlayDecoder:
     """Runs the protocol's commodity receive chain and the overlay
     comparison decode."""
 
-    def __init__(self, codec: OverlayCodec):
+    def __init__(self, codec: OverlayCodec) -> None:
         self.codec = codec
 
     def symbol_values(self, wave: Waveform) -> list:

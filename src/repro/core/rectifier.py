@@ -34,7 +34,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.types import FloatArray
+
 from repro.phy.waveform import Waveform
+from repro.rng import fallback_rng
 
 __all__ = [
     "RectifierOutput",
@@ -82,7 +85,7 @@ class RectifierOutput:
         return float(self.voltage.max()) if self.voltage.size else 0.0
 
 
-def _instantaneous_freq(iq: np.ndarray, fs: float) -> np.ndarray:
+def _instantaneous_freq(iq: np.ndarray, fs: float) -> FloatArray:
     """Instantaneous frequency in Hz from phase differences."""
     if iq.size < 2:
         return np.zeros(iq.size)
@@ -91,7 +94,7 @@ def _instantaneous_freq(iq: np.ndarray, fs: float) -> np.ndarray:
     return np.concatenate([[f[0]], f])
 
 
-def _diode_rc(v_in: np.ndarray, fs: float, tau_s: float) -> np.ndarray:
+def _diode_rc(v_in: np.ndarray, fs: float, tau_s: float) -> FloatArray:
     """Ideal-diode peak detector with exponential discharge.
 
     The diode charges the capacitor instantly (charge time constant
@@ -176,7 +179,7 @@ class _EnvelopeRectifier:
         detected = _diode_rc(swing, wave.sample_rate, self.tau_s)
         out = detected * self.output_divider
         if self.noise_v_rms > 0:
-            rng = rng or np.random.default_rng()
+            rng = fallback_rng(rng)
             out = out + rng.normal(scale=self.noise_v_rms, size=out.size)
         return RectifierOutput(voltage=out, sample_rate=wave.sample_rate)
 
@@ -189,7 +192,7 @@ class _EnvelopeRectifier:
 class BasicRectifier(_EnvelopeRectifier):
     """Single-diode detector (Fig 3a): loses the diode turn-on voltage."""
 
-    def __init__(self, *, tau_s: float | None = None, noise_v_rms: float = 2.3e-3):
+    def __init__(self, *, tau_s: float | None = None, noise_v_rms: float = 2.3e-3) -> None:
         self.turn_on_v = 0.25
         self.swing_gain = 1.0
         self.output_divider = 1.0
@@ -207,7 +210,7 @@ class ClampRectifier(_EnvelopeRectifier):
     output -- the deliberate SNR-for-bandwidth trade of §2.2.1.
     """
 
-    def __init__(self, *, tau_s: float | None = None, noise_v_rms: float = 1.0e-3):
+    def __init__(self, *, tau_s: float | None = None, noise_v_rms: float = 1.0e-3) -> None:
         self.turn_on_v = 0.02
         self.swing_gain = 2.0
         self.output_divider = 0.2
@@ -223,7 +226,7 @@ class WispRectifier(_EnvelopeRectifier):
     11 Mchip 802.11b envelope is heavily smeared (Fig 4b).
     """
 
-    def __init__(self, *, tau_s: float = 2e-6, noise_v_rms: float = 1e-3):
+    def __init__(self, *, tau_s: float = 2e-6, noise_v_rms: float = 1e-3) -> None:
         self.turn_on_v = 0.25
         self.swing_gain = 1.0
         self.output_divider = 1.0

@@ -22,6 +22,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.types import BitArray
+
 from repro.phy.bits import bits_from_int, int_from_bits
 
 __all__ = ["TagLinkConfig", "TagFrame", "encode_message", "FrameDecoder"]
@@ -76,7 +78,7 @@ class TagFrame:
     seq: int
     payload_bits: np.ndarray
 
-    def to_bits(self, config: TagLinkConfig) -> np.ndarray:
+    def to_bits(self, config: TagLinkConfig) -> BitArray:
         if self.payload_bits.size > config.frame_payload_bits:
             raise ValueError("payload exceeds the frame budget")
         pad = config.frame_payload_bits - self.payload_bits.size
@@ -158,7 +160,7 @@ class FrameDecoder:
         hi = max(present)
         return [s for s in range(hi + 1) if s not in present]
 
-    def message_bits(self) -> np.ndarray:
+    def message_bits(self) -> BitArray:
         """Concatenate payloads of the frames received, in seq order."""
         if not self.frames:
             return np.zeros(0, np.uint8)

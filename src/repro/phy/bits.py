@@ -21,6 +21,8 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro.types import BitArray
+
 __all__ = [
     "bits_from_bytes",
     "bytes_from_bits",
@@ -39,7 +41,7 @@ __all__ = [
 ]
 
 
-def _as_bits(bits: np.ndarray | list[int]) -> np.ndarray:
+def _as_bits(bits: np.ndarray | list[int]) -> BitArray:
     arr = np.asarray(bits, dtype=np.uint8)
     if arr.ndim != 1:
         raise ValueError(f"expected 1-D bit array, got shape {arr.shape}")
@@ -48,7 +50,7 @@ def _as_bits(bits: np.ndarray | list[int]) -> np.ndarray:
     return arr
 
 
-def bits_from_bytes(data: bytes | bytearray | np.ndarray, *, lsb_first: bool = True) -> np.ndarray:
+def bits_from_bytes(data: bytes | bytearray | np.ndarray, *, lsb_first: bool = True) -> BitArray:
     """Expand bytes into a bit array (LSB-first by default, as on air)."""
     byte_arr = np.frombuffer(bytes(data), dtype=np.uint8)
     bit_order = "little" if lsb_first else "big"
@@ -64,7 +66,7 @@ def bytes_from_bits(bits: np.ndarray | list[int], *, lsb_first: bool = True) -> 
     return np.packbits(arr, bitorder=bit_order).tobytes()
 
 
-def bits_from_int(value: int, width: int, *, lsb_first: bool = True) -> np.ndarray:
+def bits_from_int(value: int, width: int, *, lsb_first: bool = True) -> BitArray:
     """Expand an integer into ``width`` bits."""
     if value < 0 or value >= (1 << width):
         raise ValueError(f"value {value} does not fit in {width} bits")
@@ -90,7 +92,7 @@ class Lfsr:
     (state bit *i* holds the value delayed by *i+1* steps).
     """
 
-    def __init__(self, taps: tuple[int, ...], state: int, width: int):
+    def __init__(self, taps: tuple[int, ...], state: int, width: int) -> None:
         if not taps or max(taps) > width:
             raise ValueError("taps must be non-empty and fit within width")
         if state <= 0 or state >= (1 << width):
@@ -107,13 +109,13 @@ class Lfsr:
         self.state = ((self.state << 1) | out) & ((1 << self.width) - 1)
         return out
 
-    def sequence(self, n: int) -> np.ndarray:
+    def sequence(self, n: int) -> BitArray:
         """Generate ``n`` output bits."""
         return np.array([self.next_bit() for _ in range(n)], dtype=np.uint8)
 
 
 @lru_cache(maxsize=64)
-def _lfsr_cycle(taps: tuple[int, ...], seed: int, width: int) -> np.ndarray:
+def _lfsr_cycle(taps: tuple[int, ...], seed: int, width: int) -> BitArray:
     """One full period of an :class:`Lfsr` output stream.
 
     LFSR sequences are purely state-driven, so the stream is the cycle
@@ -193,7 +195,7 @@ def _crc_generic(bits: np.ndarray, poly: int, width: int, init: int) -> int:
     return reg
 
 
-def crc32_80211(data_bits: np.ndarray | list[int]) -> np.ndarray:
+def crc32_80211(data_bits: np.ndarray | list[int]) -> BitArray:
     """802.11 FCS CRC-32 over a bit array, returned as 32 bits (LSB first).
 
     Standard CRC-32 (poly 0x04C11DB7, init all-ones, final complement,
@@ -206,7 +208,7 @@ def crc32_80211(data_bits: np.ndarray | list[int]) -> np.ndarray:
     return bits_from_int(reg, 32)
 
 
-def crc16_ccitt(data_bits: np.ndarray | list[int], *, init: int = 0x0000) -> np.ndarray:
+def crc16_ccitt(data_bits: np.ndarray | list[int], *, init: int = 0x0000) -> BitArray:
     """CRC-16-CCITT (poly 0x1021) as used by IEEE 802.15.4, LSB-first bits."""
     arr = _as_bits(data_bits)
     # 802.15.4 processes LSB-first with a reflected implementation
@@ -215,7 +217,7 @@ def crc16_ccitt(data_bits: np.ndarray | list[int], *, init: int = 0x0000) -> np.
     return bits_from_int(reg, 16)
 
 
-def crc16_80211b_plcp(header_bits: np.ndarray | list[int]) -> np.ndarray:
+def crc16_80211b_plcp(header_bits: np.ndarray | list[int]) -> BitArray:
     """802.11b PLCP header CRC-16 (CCITT, init all ones, complemented)."""
     arr = _as_bits(header_bits)
     reg = _crc_generic(arr, poly=0x1021, width=16, init=0xFFFF)
@@ -224,7 +226,7 @@ def crc16_80211b_plcp(header_bits: np.ndarray | list[int]) -> np.ndarray:
     return bits_from_int(reg, 16, lsb_first=False)
 
 
-def crc24_ble(data_bits: np.ndarray | list[int], *, init: int = 0x555555) -> np.ndarray:
+def crc24_ble(data_bits: np.ndarray | list[int], *, init: int = 0x555555) -> BitArray:
     """BLE CRC-24 (poly x^24+x^10+x^9+x^6+x^4+x^3+x+1), LSB-first output.
 
     ``init`` is 0x555555 for advertising channel PDUs (Core Spec v5,
@@ -274,7 +276,7 @@ def _build_80211b_scramble_luts() -> tuple[list[int], list[int]]:
 _SCR11B_OUT, _SCR11B_STATE = _build_80211b_scramble_luts()
 
 
-def scramble_80211b(bits: np.ndarray | list[int], *, seed: int = 0x6C) -> np.ndarray:
+def scramble_80211b(bits: np.ndarray | list[int], *, seed: int = 0x6C) -> BitArray:
     """802.11b self-synchronizing scrambler (x^7 + x^4 + 1).
 
     ``seed`` 0x6C is the initial register for long-preamble frames
@@ -304,7 +306,7 @@ def scramble_80211b(bits: np.ndarray | list[int], *, seed: int = 0x6C) -> np.nda
     return out
 
 
-def descramble_80211b(bits: np.ndarray | list[int], *, seed: int = 0x6C) -> np.ndarray:
+def descramble_80211b(bits: np.ndarray | list[int], *, seed: int = 0x6C) -> BitArray:
     """Inverse of :func:`scramble_80211b` (self-synchronizing form).
 
     The descrambler's shift register holds the last seven *received*
@@ -319,7 +321,7 @@ def descramble_80211b(bits: np.ndarray | list[int], *, seed: int = 0x6C) -> np.n
     return arr ^ ext[3 : 3 + n] ^ ext[:n]
 
 
-def scramble_80211_frame(bits: np.ndarray | list[int], *, seed: int = 0x5D) -> np.ndarray:
+def scramble_80211_frame(bits: np.ndarray | list[int], *, seed: int = 0x5D) -> BitArray:
     """802.11a/g/n frame-synchronous scrambler (x^7 + x^4 + 1).
 
     Unlike the 802.11b scrambler the register is free-running from
@@ -331,7 +333,7 @@ def scramble_80211_frame(bits: np.ndarray | list[int], *, seed: int = 0x5D) -> n
     return arr ^ np.resize(cycle, arr.size)
 
 
-def ble_whitening_sequence(channel: int, n: int) -> np.ndarray:
+def ble_whitening_sequence(channel: int, n: int) -> BitArray:
     """BLE whitening sequence for ``channel`` (x^7 + x^4 + 1, seeded).
 
     Register initialized to ``1 | channel`` per Core Spec Vol 6 Part B
@@ -344,7 +346,7 @@ def ble_whitening_sequence(channel: int, n: int) -> np.ndarray:
 
 
 @lru_cache(maxsize=40)
-def _ble_whiten_cycle(channel: int) -> np.ndarray:
+def _ble_whiten_cycle(channel: int) -> BitArray:
     """One period of the BLE whitening LFSR for ``channel``.
 
     The Galois-form register (x^7 + x^4 + 1) is invertible, so the
@@ -366,7 +368,7 @@ def _ble_whiten_cycle(channel: int) -> np.ndarray:
     return np.array(out, dtype=np.uint8)
 
 
-def whiten_ble(bits: np.ndarray | list[int], channel: int) -> np.ndarray:
+def whiten_ble(bits: np.ndarray | list[int], channel: int) -> BitArray:
     """Apply (or remove -- it is an involution) BLE whitening."""
     arr = _as_bits(bits)
     return arr ^ ble_whitening_sequence(channel, arr.size)

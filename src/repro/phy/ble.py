@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core import contracts
 from repro.phy import bits as bitlib
 from repro.phy import pulse
 from repro.phy.protocols import Protocol
@@ -103,6 +104,7 @@ def _frame_bits(payload: bytes, cfg: BleConfig) -> tuple[np.ndarray, int]:
     return bits, payload_bit_index
 
 
+@contracts.dtypes(np.uint8)
 def modulate(payload: bytes | np.ndarray, config: BleConfig | None = None) -> Waveform:
     """Modulate an advertising PDU payload into a GFSK waveform.
 

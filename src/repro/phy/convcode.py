@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.types import BitArray, FloatArray
+
 __all__ = [
     "G0",
     "G1",
@@ -53,7 +55,7 @@ def expected_output_len(n_input: int) -> int:
     return 2 * n_input
 
 
-def puncture(coded: np.ndarray | list[int], rate: str) -> np.ndarray:
+def puncture(coded: np.ndarray | list[int], rate: str) -> BitArray:
     """Drop coded bits per the 802.11 pattern for ``rate``."""
     if rate not in PUNCTURE_PATTERNS:
         raise ValueError(f"unknown coding rate {rate!r}")
@@ -63,7 +65,7 @@ def puncture(coded: np.ndarray | list[int], rate: str) -> np.ndarray:
     return arr[mask]
 
 
-def depuncture(punctured: np.ndarray | list[int], rate: str) -> np.ndarray:
+def depuncture(punctured: np.ndarray | list[int], rate: str) -> BitArray:
     """Re-insert :data:`ERASURE` markers at the punctured positions."""
     if rate not in PUNCTURE_PATTERNS:
         raise ValueError(f"unknown coding rate {rate!r}")
@@ -80,7 +82,7 @@ def depuncture(punctured: np.ndarray | list[int], rate: str) -> np.ndarray:
     return out[:end]
 
 
-def depuncture_soft(llrs: np.ndarray | list[float], rate: str) -> np.ndarray:
+def depuncture_soft(llrs: np.ndarray | list[float], rate: str) -> FloatArray:
     """Re-insert zero LLRs at the punctured positions (soft path)."""
     if rate not in PUNCTURE_PATTERNS:
         raise ValueError(f"unknown coding rate {rate!r}")
@@ -98,7 +100,7 @@ def depuncture_soft(llrs: np.ndarray | list[float], rate: str) -> np.ndarray:
     return out[:end]
 
 
-def encode(bits: np.ndarray | list[int]) -> np.ndarray:
+def encode(bits: np.ndarray | list[int]) -> BitArray:
     """Encode at rate 1/2; output interleaves (A, B) streams per input bit.
 
     The shift register starts at all-zero as the standard requires (the

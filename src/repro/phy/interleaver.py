@@ -10,10 +10,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.types import BitArray, IntArray
+
 __all__ = ["interleave", "deinterleave", "permutation"]
 
 
-def permutation(n_cbps: int, n_bpsc: int) -> np.ndarray:
+def permutation(n_cbps: int, n_bpsc: int) -> IntArray:
     """Index map: output position of each input bit ``k``."""
     if n_cbps % 16:
         raise ValueError("n_cbps must be a multiple of 16")
@@ -24,7 +26,7 @@ def permutation(n_cbps: int, n_bpsc: int) -> np.ndarray:
     return j
 
 
-def interleave(bits: np.ndarray, n_cbps: int = 48, n_bpsc: int = 1) -> np.ndarray:
+def interleave(bits: np.ndarray, n_cbps: int = 48, n_bpsc: int = 1) -> BitArray:
     """Interleave a stream symbol-by-symbol (length multiple of n_cbps)."""
     arr = np.asarray(bits, dtype=np.uint8)
     if arr.size % n_cbps:
@@ -39,7 +41,7 @@ def interleave(bits: np.ndarray, n_cbps: int = 48, n_bpsc: int = 1) -> np.ndarra
     return out
 
 
-def deinterleave(bits: np.ndarray, n_cbps: int = 48, n_bpsc: int = 1) -> np.ndarray:
+def deinterleave(bits: np.ndarray, n_cbps: int = 48, n_bpsc: int = 1) -> BitArray:
     """Inverse of :func:`interleave`."""
     arr = np.asarray(bits, dtype=np.uint8)
     if arr.size % n_cbps:

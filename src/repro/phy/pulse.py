@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.types import ComplexIQ, FloatArray
+
 __all__ = [
     "gaussian_taps",
     "half_sine_pulse",
@@ -19,7 +21,7 @@ __all__ = [
 ]
 
 
-def gaussian_taps(bt: float, sps: int, span: int = 3) -> np.ndarray:
+def gaussian_taps(bt: float, sps: int, span: int = 3) -> FloatArray:
     """Gaussian filter taps for GFSK with bandwidth-time product ``bt``.
 
     ``sps`` samples per symbol, ``span`` symbols each side.  Taps are
@@ -35,7 +37,7 @@ def gaussian_taps(bt: float, sps: int, span: int = 3) -> np.ndarray:
     return taps / taps.sum()
 
 
-def half_sine_pulse(sps: int) -> np.ndarray:
+def half_sine_pulse(sps: int) -> FloatArray:
     """Half-sine chip pulse over one chip period (802.15.4 OQPSK)."""
     if sps < 1:
         raise ValueError("sps must be >= 1")
@@ -43,7 +45,7 @@ def half_sine_pulse(sps: int) -> np.ndarray:
     return np.sin(np.pi * (n + 0.5) / sps)
 
 
-def rrc_taps(beta: float, sps: int, span: int = 6) -> np.ndarray:
+def rrc_taps(beta: float, sps: int, span: int = 6) -> FloatArray:
     """Root-raised-cosine taps (unit energy), rolloff ``beta``."""
     if not 0 < beta <= 1:
         raise ValueError("beta must be in (0, 1]")
@@ -67,14 +69,14 @@ def rrc_taps(beta: float, sps: int, span: int = 6) -> np.ndarray:
     return taps / np.sqrt(np.sum(taps**2))
 
 
-def upsample_hold(symbols: np.ndarray, sps: int) -> np.ndarray:
+def upsample_hold(symbols: np.ndarray, sps: int) -> ComplexIQ:
     """Sample-and-hold upsampling (each value repeated ``sps`` times)."""
     if sps < 1:
         raise ValueError("sps must be >= 1")
     return np.repeat(np.asarray(symbols), sps)
 
 
-def shape_chips(chips: np.ndarray, sps: int, taps: np.ndarray | None = None) -> np.ndarray:
+def shape_chips(chips: np.ndarray, sps: int, taps: np.ndarray | None = None) -> ComplexIQ:
     """Upsample ``chips`` by ``sps`` and optionally filter with ``taps``.
 
     With ``taps`` given, uses impulse upsampling + FIR filtering and

@@ -24,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.phy.convcode import CONSTRAINT, ERASURE, G0, G1
+from repro.types import BitArray
 
 __all__ = ["decode", "decode_soft"]
 
@@ -60,7 +61,9 @@ for _s in range(_N_STATES):
         _PREV[_dst, slot, 1] = _b
 
 
-def _build_block_tables():
+def _build_block_tables() -> tuple[
+    np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, list[np.ndarray]
+]:
     """Tables for the radix-16 blocked ACS.
 
     Writing the start state as ``s5..s0`` and the destination as
@@ -82,7 +85,7 @@ def _build_block_tables():
     ``c = (s2 s3 s4 s5)`` with s2 most significant, and first-``argmin``
     over c.
 
-    Returns ``(bmtab, g12, g34, src, bits)``:
+    Returns ``(bmtab, g12, g34, src, bits, idx_dc)``:
 
     * ``bmtab[pt, state*2+bit]`` -- single-step branch metric for
       received pair type ``pt = 3*a + b`` (a, b in {0, 1, erasure});
@@ -90,7 +93,9 @@ def _build_block_tables():
       branch sums for steps (1, 2) over all 16 candidates and steps
       (3, 4) over the 4 relevant bits ``(s2 s3)``;
     * ``src[d, c]`` -- block start state; ``bits[d]`` -- the 4 decoded
-      bits fixed by d.
+      bits fixed by d;
+    * ``idx_dc`` -- per-step ``bmtab`` column indices in
+      (dst, candidate) layout for the soft decoder.
     """
     d = np.arange(_N_STATES)
     s1s0 = d >> 4
@@ -182,7 +187,7 @@ def _traceback(
     return decoded[:n_info]
 
 
-def decode(coded: np.ndarray | list[int], *, n_info: int | None = None) -> np.ndarray:
+def decode(coded: np.ndarray | list[int], *, n_info: int | None = None) -> BitArray:
     """Hard-decision Viterbi decode of a rate-1/2 coded stream.
 
     ``coded`` holds interleaved (A, B) values in {0, 1, ERASURE};
@@ -234,7 +239,7 @@ def decode(coded: np.ndarray | list[int], *, n_info: int | None = None) -> np.nd
     return _traceback(metrics, surv_blocks, surv_tail, n_steps, n_info)
 
 
-def decode_soft(llrs: np.ndarray, *, n_info: int | None = None) -> np.ndarray:
+def decode_soft(llrs: np.ndarray, *, n_info: int | None = None) -> BitArray:
     """Soft-decision Viterbi decode of a rate-1/2 LLR stream.
 
     ``llrs`` holds per-coded-bit log-likelihood ratios (positive =

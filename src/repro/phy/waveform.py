@@ -12,6 +12,8 @@ from dataclasses import dataclass, field, replace
 from typing import Any
 
 import numpy as np
+
+from repro.types import ComplexIQ, FloatArray
 from scipy import signal as sp_signal
 
 __all__ = ["Waveform"]
@@ -37,7 +39,7 @@ class Waveform:
         and ``samples_per_symbol``.
     """
 
-    iq: np.ndarray
+    iq: ComplexIQ
     sample_rate: float
     center_offset_hz: float = 0.0
     annotations: dict[str, Any] = field(default_factory=dict)
@@ -61,7 +63,7 @@ class Waveform:
         """Length in seconds."""
         return self.iq.size / self.sample_rate
 
-    def times(self) -> np.ndarray:
+    def times(self) -> FloatArray:
         """Per-sample timestamps in seconds."""
         return np.arange(self.iq.size) / self.sample_rate
 
@@ -71,7 +73,7 @@ class Waveform:
             return 0.0
         return float(np.mean(np.abs(self.iq) ** 2))
 
-    def envelope(self) -> np.ndarray:
+    def envelope(self) -> FloatArray:
         """Instantaneous envelope |iq| -- what an ideal detector sees."""
         return np.abs(self.iq)
 

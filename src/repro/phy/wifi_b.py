@@ -23,6 +23,7 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro.core import contracts
 from repro.phy import bits as bitlib
 from repro.phy import pulse
 from repro.phy.protocols import Protocol
@@ -87,6 +88,11 @@ _CCK_PHI_COEF = np.array(
 _CCK_CHIP_SIGN = np.array([1, 1, 1, -1, 1, 1, -1, 1], dtype=float)
 
 
+def _rate_tenths(rate_mbps: float) -> int:
+    """802.11b rate as integer tenths of Mbps for exact discrimination."""
+    return int(round(rate_mbps * 10.0))
+
+
 @dataclass(frozen=True)
 class WifiBConfig:
     """Modulator configuration.
@@ -109,6 +115,15 @@ class WifiBConfig:
         return 11e6 * self.samples_per_chip
 
     @property
+    def rate_tenths(self) -> int:
+        """PSDU rate in integer tenths of Mbps (10/20/55/110).
+
+        Rate discrimination compares these integers: exact float
+        equality on ``rate_mbps`` is banned by reprolint R002.
+        """
+        return _rate_tenths(self.rate_mbps)
+
+    @property
     def seed(self) -> int:
         """Scrambler seed: 0x6C for long-, 0x1B for short-preamble
         frames unless overridden (802.11-2016 §16.2.4/§16.2.5)."""
@@ -121,7 +136,7 @@ class WifiBConfig:
             raise ValueError(f"unsupported 802.11b rate {self.rate_mbps}")
         if self.samples_per_chip < 1:
             raise ValueError("samples_per_chip must be >= 1")
-        if self.short_preamble and self.rate_mbps == 1.0:
+        if self.short_preamble and self.rate_tenths == 10:
             raise ValueError("the short preamble excludes the 1 Mbps PSDU rate")
 
 
@@ -214,9 +229,10 @@ def _plcp_header_bits(rate_mbps: float, length_bytes: int) -> np.ndarray:
 def build_psdu_symbols(payload_bits: np.ndarray, rate_mbps: float) -> int:
     """Number of DSSS symbols the PSDU occupies at ``rate_mbps``."""
     n = np.asarray(payload_bits).size
-    if rate_mbps == 1.0:
+    tenths = _rate_tenths(rate_mbps)
+    if tenths == 10:
         return n
-    if rate_mbps == 2.0:
+    if tenths == 20:
         return (n + 1) // 2
     return (n + 3) // 4  # CCK 5.5
 
@@ -266,6 +282,7 @@ def _cached_head(
     return head_chips, last_phase, state_after, pre_scramble.size
 
 
+@contracts.dtypes(np.uint8)
 def modulate(
     payload: bytes | np.ndarray,
     config: WifiBConfig | None = None,
@@ -302,17 +319,17 @@ def modulate(
         # in one pass.
         psdu_bits = bitlib.scramble_80211b(payload_bits, seed=scr_state)
 
-    if cfg.rate_mbps == 1.0:
+    if cfg.rate_tenths == 10:
         psdu_phases = _dbpsk_phases(psdu_bits, phase0=last_phase)
         psdu_chips = _barker_chips(psdu_phases)
         chips_per_symbol = 11
-    elif cfg.rate_mbps == 2.0:
+    elif cfg.rate_tenths == 20:
         if psdu_bits.size % 2:
             psdu_bits = np.concatenate([psdu_bits, np.zeros(1, np.uint8)])
         psdu_phases = _dqpsk_phases(psdu_bits, phase0=last_phase)
         psdu_chips = _barker_chips(psdu_phases)
         chips_per_symbol = 11
-    elif cfg.rate_mbps == 5.5:
+    elif cfg.rate_tenths == 55:
         pad = (-psdu_bits.size) % 4
         if pad:
             psdu_bits = np.concatenate([psdu_bits, np.zeros(pad, np.uint8)])
@@ -446,7 +463,9 @@ def _cck_decode(
 
     # phi1 recovered from the correlation phase, differentially.
     ref = np.concatenate([[prev], corr_best[:-1]])
-    rot = corr_best * np.where(np.abs(ref) == 0.0, 1.0 + 0j, np.conj(ref))
+    # Exact-zero guard (integer compare, R002): only a correlation that
+    # is exactly zero has no usable phase reference.
+    rot = corr_best * np.where(np.abs(ref) == 0, 1.0 + 0j, np.conj(ref))
     phase = np.mod(np.angle(rot) + np.pi / 4, 2 * np.pi)
     quadrant = (phase // (np.pi / 2)).astype(int)
     return np.hstack([_DQPSK_INV_LUT[quadrant], bank_bits[best]]).ravel()
@@ -502,13 +521,14 @@ def demodulate(
 
     n_sym = ann["n_payload_symbols"]
     prev = head_syms[-1] if head_syms.size else 1.0 + 0j
-    if rate == 1.0:
+    tenths = _rate_tenths(rate)
+    if tenths == 10:
         syms = _despread_barker(wave.iq, sps, n_sym, payload_start)
         psdu_onair = _diff_bits(syms, prev)
-    elif rate == 2.0:
+    elif tenths == 20:
         syms = _despread_barker(wave.iq, sps, n_sym, payload_start)
         psdu_onair = _diff_dibits(syms, prev)
-    elif rate == 5.5:
+    elif tenths == 55:
         psdu_onair = _cck55_decode(wave.iq, sps, n_sym, payload_start, prev)
     else:
         psdu_onair = _cck11_decode(wave.iq, sps, n_sym, payload_start, prev)

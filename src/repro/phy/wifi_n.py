@@ -27,6 +27,7 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro.core import contracts
 from repro.phy import bits as bitlib
 from repro.phy import convcode, viterbi
 from repro.phy.protocols import Protocol
@@ -274,6 +275,7 @@ def _ht_permutation(n_cbps: int, n_bpsc: int) -> np.ndarray:
     return j
 
 
+@contracts.shapes("n_cbps -> n_cbps")
 def ht_interleave(bits: np.ndarray, n_bpsc: int) -> np.ndarray:
     """Interleave one OFDM symbol's coded bits."""
     arr = np.asarray(bits, dtype=np.uint8)
@@ -286,6 +288,7 @@ def ht_interleave(bits: np.ndarray, n_bpsc: int) -> np.ndarray:
     return out
 
 
+@contracts.shapes("n_cbps -> n_cbps")
 def ht_deinterleave(bits: np.ndarray, n_bpsc: int) -> np.ndarray:
     """Inverse of :func:`ht_interleave`."""
     arr = np.asarray(bits, dtype=np.uint8)
@@ -390,6 +393,7 @@ def _ht_sig(mcs: int, length: int) -> np.ndarray:
 # ----------------------------------------------------------------------
 # modulator
 # ----------------------------------------------------------------------
+@contracts.dtypes(np.uint8)
 def modulate(
     payload: bytes | np.ndarray,
     config: WifiNConfig | None = None,

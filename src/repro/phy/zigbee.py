@@ -19,6 +19,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.types import BitArray, ComplexIQ
+
+from repro.core import contracts
 from repro.phy import bits as bitlib
 from repro.phy import pulse
 from repro.phy.protocols import Protocol
@@ -89,7 +92,8 @@ class ZigbeeConfig:
             raise ValueError("samples_per_chip must be an even integer >= 2")
 
 
-def symbols_from_bits(bits: np.ndarray) -> np.ndarray:
+@contracts.shapes("n_bits -> n_bits//4")
+def symbols_from_bits(bits: np.ndarray) -> BitArray:
     """Pack bits into 4-bit symbols, low nibble first (LSB-first bits)."""
     arr = np.asarray(bits, dtype=np.uint8)
     if arr.size % 4:
@@ -98,13 +102,14 @@ def symbols_from_bits(bits: np.ndarray) -> np.ndarray:
     return (blocks * np.array([1, 2, 4, 8], dtype=np.uint8)).sum(axis=1)
 
 
-def bits_from_symbols(symbols: np.ndarray) -> np.ndarray:
+@contracts.shapes("n_sym -> n_sym*4")
+def bits_from_symbols(symbols: np.ndarray) -> BitArray:
     """Inverse of :func:`symbols_from_bits`."""
     arr = np.asarray(symbols, dtype=np.uint8)
     return ((arr[:, None] >> np.arange(4, dtype=np.uint8)) & 1).astype(np.uint8).ravel()
 
 
-def _oqpsk_waveform(chips: np.ndarray, cfg: ZigbeeConfig) -> np.ndarray:
+def _oqpsk_waveform(chips: np.ndarray, cfg: ZigbeeConfig) -> ComplexIQ:
     """Half-sine OQPSK: even chips -> I, odd chips -> Q (offset Tc/2)."""
     bipolar = 2.0 * chips.astype(float) - 1.0
     i_chips = bipolar[0::2]
@@ -123,6 +128,7 @@ def _oqpsk_waveform(chips: np.ndarray, cfg: ZigbeeConfig) -> np.ndarray:
     return (i_wave + 1j * q_wave) / np.sqrt(2.0)
 
 
+@contracts.dtypes(np.uint8)
 def modulate(
     payload: bytes | np.ndarray,
     config: ZigbeeConfig | None = None,
@@ -193,7 +199,7 @@ class ZigbeeDecodeResult:
     fcs_ok: bool | None = None
 
 
-def _chip_matched_outputs(wave: Waveform, n_chips: int) -> np.ndarray:
+def _chip_matched_outputs(wave: Waveform, n_chips: int) -> ComplexIQ:
     """Complex matched-filter outputs per chip (half-sine correlation).
 
     Each I (Q) chip is a half-sine pulse spanning 2 chip periods;
@@ -263,7 +269,7 @@ def demodulate(wave: Waveform, *, correct_cfo: bool = True) -> ZigbeeDecodeResul
     z = _chip_matched_outputs(wave, n_symbols * CHIPS_PER_SYMBOL)
     # Per-chip projection axis: I chips live on the real axis, Q chips
     # on the imaginary axis.
-    q_axis = np.resize(np.array([1.0, 1j]), CHIPS_PER_SYMBOL)
+    q_axis = np.resize(np.array([1.0, 1j], dtype=np.complex128), CHIPS_PER_SYMBOL)
 
     # Decision-directed phase tracking: residual CFO/phase noise is
     # re-estimated from each decided symbol (a one-shot derotation is

@@ -24,6 +24,7 @@ from repro.core.identification import DEFAULT_INCIDENT_DBM
 from repro.core.overlay_decoder import OverlayDecoder
 from repro.core.tag import MultiscatterTag, SingleProtocolTag, TagReaction
 from repro.phy.protocols import Protocol
+from repro.rng import fallback_rng
 from repro.sim.traffic import ExcitationSchedule, random_packet
 
 __all__ = ["PacketOutcome", "AirlinkReport", "run_airlink"]
@@ -95,7 +96,7 @@ def run_airlink(
     chunk of ``tag_payload``; the receiver decodes at the RSSI/noise
     implied by the calibrated link budget for ``d_tag_rx_m``.
     """
-    rng = rng or np.random.default_rng()
+    rng = fallback_rng(rng)
     payload = (
         np.asarray(tag_payload, dtype=np.uint8)
         if tag_payload is not None

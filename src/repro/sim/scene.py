@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.types import FloatArray
+
 from repro.core.rectifier import incident_peak_voltage
 from repro.phy.waveform import Waveform
 
@@ -48,7 +50,7 @@ def superimpose(
     i = i.sliced(int(round(64 * scene_rate_hz / interferer.sample_rate)))
 
     # Scale to unboosted antenna volts.
-    def to_volts(w: Waveform, dbm: float) -> np.ndarray:
+    def to_volts(w: Waveform, dbm: float) -> FloatArray:
         rms = np.sqrt(w.mean_power())
         if rms <= 0:
             return w.iq

@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.types import FloatArray
+
 from repro.phy import ble, wifi_b, wifi_n, zigbee
 from repro.phy.protocols import DEFAULT_PACKET_RATES, Protocol
 from repro.phy.waveform import Waveform
@@ -122,7 +124,7 @@ class ExcitationSource:
         frac = ((t - self.phase_s) % self.period_s) / self.period_s
         return frac < self.duty_cycle
 
-    def arrival_times(self, duration_s: float, rng: np.random.Generator) -> np.ndarray:
+    def arrival_times(self, duration_s: float, rng: np.random.Generator) -> FloatArray:
         """Packet start times within [0, duration_s), gate applied."""
         rate = self.resolved_rate()
         if rate <= 0:

@@ -1,0 +1,42 @@
+"""Shared array type aliases for the reproduction.
+
+These names make the dtype invariants of the signal chain visible in
+signatures (and checkable by mypy + reprolint R003):
+
+* ``ComplexIQ`` — 1-D complex-baseband samples, always ``complex128``
+  (:class:`repro.phy.waveform.Waveform` normalizes to this on
+  construction; kernels must not silently narrow or widen).
+* ``FloatArray`` — real-valued traces: envelopes, voltages, scores.
+* ``BitArray`` — on-air / payload bits, ``uint8`` with values {0, 1}.
+* ``ChipArray`` — spread-spectrum chip streams (ZigBee 32-chip PN
+  sequences, 802.11b Barker/CCK), ``uint8`` or ±1 ``float64``
+  depending on the stage; the alias marks intent, the contracts in
+  :mod:`repro.core.contracts` check the concrete dtype at entry
+  points.
+* ``IntArray`` — indices, symbol codes, ADC codes.
+
+``numpy.typing.NDArray`` is parameterized by *scalar* type only, so
+1-D-ness is asserted by the runtime contracts rather than the static
+aliases.
+"""
+
+from __future__ import annotations
+
+from typing import TypeAlias
+
+import numpy as np
+import numpy.typing as npt
+
+__all__ = [
+    "ComplexIQ",
+    "FloatArray",
+    "BitArray",
+    "ChipArray",
+    "IntArray",
+]
+
+ComplexIQ: TypeAlias = npt.NDArray[np.complex128]
+FloatArray: TypeAlias = npt.NDArray[np.float64]
+BitArray: TypeAlias = npt.NDArray[np.uint8]
+ChipArray: TypeAlias = npt.NDArray[np.uint8]
+IntArray: TypeAlias = npt.NDArray[np.int64]

@@ -1,0 +1,56 @@
+"""reprolint — repo-specific determinism & dtype AST linter.
+
+Usage (from the repo root)::
+
+    python -m tools.reprolint src/            # lint a tree
+    python -m tools.reprolint --list-rules    # show the rule catalog
+    python -m tools.reprolint --select R001 src/repro/sim/
+
+Rules enforce the reproduction's core invariants (bit-identical
+Monte-Carlo, byte-identical PHY kernels, decision-identical matching):
+see :mod:`tools.reprolint.rules` and docs/STATIC_ANALYSIS.md.
+"""
+
+from __future__ import annotations
+
+from tools.reprolint.rules import (
+    RULES,
+    STRICT_RETURN_DIRS,
+    Violation,
+    iter_violations,
+    lint_source,
+)
+
+__all__ = [
+    "RULES",
+    "STRICT_RETURN_DIRS",
+    "Violation",
+    "iter_violations",
+    "lint_source",
+    "lint_paths",
+]
+
+
+def lint_paths(
+    paths: list[str],
+    *,
+    select: list[str] | None = None,
+) -> list[Violation]:
+    """Lint files and directory trees; returns all violations found."""
+    import os
+
+    files: list[str] = []
+    for p in paths:
+        if os.path.isdir(p):
+            for root, dirs, names in os.walk(p):
+                dirs[:] = sorted(d for d in dirs if d not in {"__pycache__", ".git"})
+                files.extend(
+                    os.path.join(root, n) for n in sorted(names) if n.endswith(".py")
+                )
+        elif p.endswith(".py"):
+            files.append(p)
+    out: list[Violation] = []
+    for path in files:
+        with open(path, encoding="utf-8") as fh:
+            out.extend(lint_source(fh.read(), path, select=select))
+    return out

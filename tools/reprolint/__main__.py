@@ -1,0 +1,45 @@
+"""CLI entry point: ``python -m tools.reprolint [paths...]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from tools.reprolint import RULES, lint_paths
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="determinism & dtype AST linter for the multiscatter reproduction",
+    )
+    parser.add_argument("paths", nargs="*", default=[], help="files or directories to lint")
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to check (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code, desc in sorted(RULES.items()):
+            print(f"{code}  {desc}")
+        return 0
+    if not args.paths:
+        parser.error("no paths given (try: python -m tools.reprolint src/)")
+
+    select = [c.strip() for c in args.select.split(",")] if args.select else None
+    violations = lint_paths(args.paths, select=select)
+    for v in violations:
+        print(v.render())
+    if violations:
+        print(f"reprolint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
