@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-primitives bench-tables perf-report examples lint typecheck check clean
+.PHONY: install test test-fast smoke bench bench-primitives bench-tables perf-report examples lint typecheck check clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -29,6 +29,12 @@ typecheck:
 # The pre-commit gate: what CI runs on every push/PR.
 check: lint typecheck test-fast
 
+# Every experiment at quick scale, in parallel, with artifact gating
+# (what the CI smoke job runs).
+smoke:
+	REPRO_WORKERS=2 $(PYTHON) -m repro run-all --preset quick --out runs/smoke
+	$(PYTHON) tools/check_artifacts.py runs/smoke --expect-all
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -47,5 +53,5 @@ examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
 
 clean:
-	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks
+	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks runs
 	find . -name __pycache__ -type d -exec rm -rf {} +

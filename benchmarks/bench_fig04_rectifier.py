@@ -2,12 +2,14 @@
 
 from conftest import print_experiment
 
-from repro.experiments import fig04_rectifier
+from repro.experiments.registry import get_spec
+
+SPEC = get_spec("fig04_rectifier")
 
 
 def test_fig04_rectifier(benchmark):
-    result = benchmark.pedantic(fig04_rectifier.run, rounds=1, iterations=1)
-    print_experiment(result, fig04_rectifier.format_result)
+    result = benchmark.pedantic(SPEC.run, rounds=1, iterations=1)
+    print_experiment(result, SPEC.format)
 
     # Shape assertions against the paper.
     clamp = result["clamp_out_v"]

@@ -2,14 +2,16 @@
 
 from conftest import print_experiment
 
-from repro.experiments import fig05_envelope_id
+from repro.experiments.registry import get_spec
+
+SPEC = get_spec("fig05_envelope_id")
 
 
 def test_fig05_envelope_id(benchmark):
     result = benchmark.pedantic(
-        fig05_envelope_id.run, kwargs={"n_traces": 10}, rounds=1, iterations=1
+        SPEC.run, kwargs={"n_traces": 10}, rounds=1, iterations=1
     )
-    print_experiment(result, fig05_envelope_id.format_result)
+    print_experiment(result, SPEC.format)
 
     # Paper: L_p=40, L_t=120 reaches >= 99.3% minimum accuracy; our
     # simulated envelopes are cleaner, so demand a high floor.

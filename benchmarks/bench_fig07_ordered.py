@@ -2,15 +2,17 @@
 
 from conftest import print_experiment
 
-from repro.experiments import fig07_ordered
+from repro.experiments.registry import get_spec
+
+SPEC = get_spec("fig07_ordered")
 
 
 def test_fig07_ordered(benchmark):
     result = benchmark.pedantic(
-        fig07_ordered.run, kwargs={"n_traces": 12, "n_train": 16},
+        SPEC.run, kwargs={"n_traces": 12, "n_train": 16},
         rounds=1, iterations=1,
     )
-    print_experiment(result, fig07_ordered.format_result)
+    print_experiment(result, SPEC.format)
 
     blind = result["blind"].average
     ordered = result["ordered"].average

@@ -2,15 +2,17 @@
 
 from conftest import print_experiment
 
-from repro.experiments import fig08_sampling
+from repro.experiments.registry import get_spec
+
+SPEC = get_spec("fig08_sampling")
 
 
 def test_fig08_sampling(benchmark):
     result = benchmark.pedantic(
-        fig08_sampling.run, kwargs={"n_traces": 12, "n_train": 16},
+        SPEC.run, kwargs={"n_traces": 12, "n_train": 16},
         rounds=1, iterations=1,
     )
-    print_experiment(result, fig08_sampling.format_result)
+    print_experiment(result, SPEC.format)
 
     reports = result["reports"]
     ext = reports["2.5Msps/extended"].average

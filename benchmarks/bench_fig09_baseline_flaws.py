@@ -4,14 +4,16 @@ import numpy as np
 from conftest import print_experiment
 
 from repro.channel.occlusion import Material
-from repro.experiments import fig09_baseline_flaws
+from repro.experiments.registry import get_spec
+
+SPEC = get_spec("fig09_baseline_flaws")
 
 
 def test_fig09_baseline_flaws(benchmark):
     result = benchmark.pedantic(
-        fig09_baseline_flaws.run, kwargs={"n_packets": 300}, rounds=1, iterations=1
+        SPEC.run, kwargs={"n_packets": 300}, rounds=1, iterations=1
     )
-    print_experiment(result, fig09_baseline_flaws.format_result)
+    print_experiment(result, SPEC.format)
 
     for system in ("hitchhike", "freerider"):
         bers = result["bers"][system]

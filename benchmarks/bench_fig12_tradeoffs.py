@@ -4,15 +4,18 @@ import pytest
 from conftest import print_experiment
 
 from repro.core.overlay import Mode
-from repro.experiments import fig12_tradeoffs
+from repro.experiments.registry import get_spec
+
 from repro.phy.protocols import Protocol
+
+SPEC = get_spec("fig12_tradeoffs")
 
 
 def test_fig12_tradeoffs(benchmark):
     result = benchmark.pedantic(
-        fig12_tradeoffs.run, kwargs={"n_locations": 50}, rounds=1, iterations=1
+        SPEC.run, kwargs={"n_locations": 50}, rounds=1, iterations=1
     )
-    print_experiment(result, fig12_tradeoffs.format_result)
+    print_experiment(result, SPEC.format)
     table = result["table"]
 
     # Mode 1: productive ~= tag for every protocol.

@@ -3,13 +3,16 @@
 import pytest
 from conftest import print_experiment
 
-from repro.experiments import fig13_los
+from repro.experiments.registry import get_spec
+
 from repro.phy.protocols import Protocol
+
+SPEC = get_spec("fig13_los")
 
 
 def test_fig13_los(benchmark):
-    result = benchmark.pedantic(fig13_los.run, rounds=1, iterations=1)
-    print_experiment(result, fig13_los.format_result)
+    result = benchmark.pedantic(SPEC.run, rounds=1, iterations=1)
+    print_experiment(result, SPEC.format)
     per = result["per_protocol"]
 
     # Paper Fig 13a: max ranges 28 m WiFi / 22 m ZigBee / 20 m BLE.

@@ -3,13 +3,15 @@
 import pytest
 from conftest import print_experiment
 
-from repro.experiments import fig13_los, fig14_nlos
+from repro.experiments.registry import get_spec
 from repro.phy.protocols import Protocol
+
+SPEC = get_spec("fig14_nlos")
 
 
 def test_fig14_nlos(benchmark):
-    result = benchmark.pedantic(fig14_nlos.run, rounds=1, iterations=1)
-    print_experiment(result, fig14_nlos.format_result)
+    result = benchmark.pedantic(SPEC.run, rounds=1, iterations=1)
+    print_experiment(result, SPEC.format)
     per = result["per_protocol"]
 
     # Paper Fig 14a: NLoS max ranges 22 / 18 / 16 m.
@@ -18,6 +20,6 @@ def test_fig14_nlos(benchmark):
     assert per[Protocol.BLE]["max_range_m"] == pytest.approx(16.0, abs=2.0)
 
     # Every protocol's NLoS range is shorter than its LoS range.
-    los = fig13_los.run()["per_protocol"]
+    los = get_spec("fig13_los").run()["per_protocol"]
     for p in Protocol:
         assert per[p]["max_range_m"] < los[p]["max_range_m"]

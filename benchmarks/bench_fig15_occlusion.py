@@ -3,14 +3,16 @@
 import pytest
 from conftest import print_experiment
 
-from repro.experiments import fig15_occlusion
+from repro.experiments.registry import get_spec
+
+SPEC = get_spec("fig15_occlusion")
 
 
 def test_fig15_occlusion(benchmark):
     result = benchmark.pedantic(
-        fig15_occlusion.run, kwargs={"n_packets": 400}, rounds=1, iterations=1
+        SPEC.run, kwargs={"n_packets": 400}, rounds=1, iterations=1
     )
-    print_experiment(result, fig15_occlusion.format_result)
+    print_experiment(result, SPEC.format)
 
     multi_ble = result["multiscatter_ble_kbps"]
     multi_11b = result["multiscatter_11b_kbps"]

@@ -2,14 +2,16 @@
 
 from conftest import print_experiment
 
-from repro.experiments import fig16_collisions
+from repro.experiments.registry import get_spec
+
+SPEC = get_spec("fig16_collisions")
 
 
 def test_fig16_collisions(benchmark):
     result = benchmark.pedantic(
-        fig16_collisions.run, kwargs={"n_trials": 12}, rounds=1, iterations=1
+        SPEC.run, kwargs={"n_trials": 12}, rounds=1, iterations=1
     )
-    print_experiment(result, fig16_collisions.format_result)
+    print_experiment(result, SPEC.format)
 
     tc = result["time_collision"]
     fc = result["freq_collision"]

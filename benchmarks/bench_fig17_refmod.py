@@ -2,14 +2,16 @@
 
 from conftest import print_experiment
 
-from repro.experiments import fig17_refmod
+from repro.experiments.registry import get_spec
+
+SPEC = get_spec("fig17_refmod")
 
 
 def test_fig17_refmod(benchmark):
     result = benchmark.pedantic(
-        fig17_refmod.run, kwargs={"n_packets": 6}, rounds=1, iterations=1
+        SPEC.run, kwargs={"n_packets": 6}, rounds=1, iterations=1
     )
-    print_experiment(result, fig17_refmod.format_result)
+    print_experiment(result, SPEC.format)
 
     # Paper: 11b tag BER below ~0.6% for all three DSSS/CCK reference
     # modulations; the OFDM band is likewise stable at its operating

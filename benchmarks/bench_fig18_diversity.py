@@ -2,13 +2,16 @@
 
 from conftest import print_experiment
 
-from repro.experiments import fig18_diversity
+from repro.experiments.registry import get_spec
+
 from repro.phy.protocols import Protocol
+
+SPEC = get_spec("fig18_diversity")
 
 
 def test_fig18_diversity(benchmark):
-    result = benchmark.pedantic(fig18_diversity.run, rounds=1, iterations=1)
-    print_experiment(result, fig18_diversity.format_result)
+    result = benchmark.pedantic(SPEC.run, rounds=1, iterations=1)
+    print_experiment(result, SPEC.format)
 
     # Paper Fig 18a: multiscatter busy ~always, single-protocol ~50%.
     assert result["multi_active_fraction"] > 0.9

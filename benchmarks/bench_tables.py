@@ -3,13 +3,13 @@
 import pytest
 from conftest import print_experiment
 
-from repro.experiments import table2_resources, table3_power, table4_energy, table5_idpower
+from repro.experiments.registry import get_spec
 from repro.phy.protocols import Protocol
 
 
 def test_table2_resources(benchmark):
-    result = benchmark.pedantic(table2_resources.run, rounds=1, iterations=1)
-    print_experiment(result, table2_resources.format_result)
+    result = benchmark.pedantic(get_spec("table2_resources").run, rounds=1, iterations=1)
+    print_experiment(result, get_spec("table2_resources").format)
     assert result["per_protocol_dffs"] == 33341
     assert result["naive_total_dffs"] == 133364
     assert result["nano_impl_dffs"] == 2860
@@ -18,15 +18,15 @@ def test_table2_resources(benchmark):
 
 
 def test_table3_power(benchmark):
-    result = benchmark.pedantic(table3_power.run, rounds=1, iterations=1)
-    print_experiment(result, table3_power.format_result)
+    result = benchmark.pedantic(get_spec("table3_power").run, rounds=1, iterations=1)
+    print_experiment(result, get_spec("table3_power").format)
     assert result["total_mw"] == pytest.approx(279.5)
     assert result["total_at_2p5msps_mw"] < result["total_mw"]
 
 
 def test_table4_energy(benchmark):
-    result = benchmark.pedantic(table4_energy.run, rounds=1, iterations=1)
-    print_experiment(result, table4_energy.format_result)
+    result = benchmark.pedantic(get_spec("table4_energy").run, rounds=1, iterations=1)
+    print_experiment(result, get_spec("table4_energy").format)
     table = result["table"]
     assert table[Protocol.WIFI_N]["exchange_packets"] == pytest.approx(360, rel=0.02)
     assert table[Protocol.WIFI_N]["indoor_s"] == pytest.approx(0.60, abs=0.02)
@@ -38,8 +38,8 @@ def test_table4_energy(benchmark):
 
 
 def test_table5_idpower(benchmark):
-    result = benchmark.pedantic(table5_idpower.run, rounds=1, iterations=1)
-    print_experiment(result, table5_idpower.format_result)
+    result = benchmark.pedantic(get_spec("table5_idpower").run, rounds=1, iterations=1)
+    print_experiment(result, get_spec("table5_idpower").format)
     rows = result["rows"]
     assert rows["20MS/s, no +-1 quan."]["power_mw"] == pytest.approx(564, rel=0.05)
     assert rows["20MS/s, +-1 quan."]["power_mw"] == pytest.approx(12, rel=0.1)

@@ -8,15 +8,18 @@ with Eb/N0 for every protocol, and the high-Eb/N0 points are clean
 
 from conftest import print_experiment
 
-from repro.experiments import validation_ber
+from repro.experiments.registry import get_spec
+
 from repro.phy.protocols import Protocol
+
+SPEC = get_spec("validation_ber")
 
 
 def test_validation_ber(benchmark):
     result = benchmark.pedantic(
-        validation_ber.run, kwargs={"n_packets": 3}, rounds=1, iterations=1
+        SPEC.run, kwargs={"n_packets": 3}, rounds=1, iterations=1
     )
-    print_experiment(result, validation_ber.format_result)
+    print_experiment(result, SPEC.format)
     rows = result["rows"]
 
     for p in Protocol:

@@ -42,6 +42,29 @@ SPEEDUP_PAIRS = {
 }
 
 
+def _check_bench_coverage() -> list[str]:
+    """Every registry-declared experiment must have a bench file.
+
+    Table experiments share ``bench_tables.py``; everything else maps
+    to ``bench_<name>.py``.  Importing the registry is cheap: it is
+    stdlib-only and loads no implementation module.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.experiments import registry
+    finally:
+        sys.path.pop(0)
+    missing = []
+    for name in registry.names():
+        if name.startswith("table"):
+            bench = "bench_tables.py"
+        else:
+            bench = f"bench_{name}.py"
+        if not (REPO_ROOT / "benchmarks" / bench).is_file():
+            missing.append(f"{name} (expected benchmarks/{bench})")
+    return missing
+
+
 def _run_pytest_benchmark(json_path: Path) -> None:
     cmd = [
         sys.executable,
@@ -124,6 +147,13 @@ def main(argv: list[str] | None = None) -> int:
         help="fail if a kernel's mean time exceeds baseline * factor (default 2)",
     )
     args = parser.parse_args(argv)
+
+    uncovered = _check_bench_coverage()
+    if uncovered:
+        print("experiments with no benchmark coverage:", file=sys.stderr)
+        for line in uncovered:
+            print(f"  {line}", file=sys.stderr)
+        return 1
 
     with tempfile.TemporaryDirectory() as tmp:
         json_path = Path(tmp) / "bench.json"

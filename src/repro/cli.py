@@ -2,69 +2,93 @@
 
 Gives the repository an adoption-grade front door:
 
-* ``python -m repro list``                -- available experiments
-* ``python -m repro run fig13_los``      -- run one experiment, print
-  its paper-style table
-* ``python -m repro run-all``            -- run everything (quick
-  parameters)
-* ``python -m repro info``               -- library and calibration
+* ``python -m repro list``                  -- declared experiments
+  (registry metadata only; imports no implementation module)
+* ``python -m repro run fig13_los --preset quick --seed 7 --out runs/x``
+  -- run one experiment, print its paper-style table, and (with
+  ``--out``) write a versioned JSON artifact
+* ``python -m repro run-all --preset quick --workers 4 --out runs/x``
+  -- run every experiment, fanning out across processes, with a
+  per-experiment pass/fail summary
+* ``python -m repro show runs/x/fig13_los.json`` -- re-render a saved
+  artifact exactly as the live run printed it
+* ``python -m repro info``                  -- library and calibration
   summary
 """
 
 from __future__ import annotations
 
 import argparse
-import importlib
 import os
 import sys
 
-__all__ = ["main", "EXPERIMENTS"]
+__all__ = ["main"]
 
-#: Experiment name -> module path (all expose run() / format_result()).
-EXPERIMENTS = {
-    name: f"repro.experiments.{name}"
-    for name in (
-        "fig04_rectifier",
-        "fig05_envelope_id",
-        "fig07_ordered",
-        "fig08_sampling",
-        "fig09_baseline_flaws",
-        "fig12_tradeoffs",
-        "fig13_los",
-        "fig14_nlos",
-        "fig15_occlusion",
-        "fig16_collisions",
-        "fig17_refmod",
-        "fig18_diversity",
-        "validation_ber",
-        "table2_resources",
-        "table3_power",
-        "table4_energy",
-        "table5_idpower",
-    )
-}
+#: Preset choices mirrored from repro.experiments.registry.PRESET_NAMES
+#: (kept literal so building the parser imports nothing).
+_PRESETS = ("quick", "full", "paper")
 
 
-def _run_experiment(name: str) -> int:
-    if name not in EXPERIMENTS:
-        print(f"unknown experiment {name!r}; see 'python -m repro list'",
-              file=sys.stderr)
-        return 2
-    module = importlib.import_module(EXPERIMENTS[name])
-    result = module.run()
-    print(f"==== {result.name} ====")
-    print(module.format_result(result))
+def _render_result(result) -> str:
+    """The one output format shared by ``run`` and ``show``."""
+    lines = [f"==== {result.name} ====", result.render()]
     for note in result.notes:
-        print(f"  note: {note}")
-    return 0
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)
+
+
+def _run_one(name: str, preset: str, seed: int | None, out_dir: str | None) -> str:
+    """Run one experiment; returns the text to print (raises on error)."""
+    from repro.experiments import registry
+
+    spec = registry.get_spec(name)
+    overrides = {}
+    if seed is not None:
+        if not spec.has_param("seed"):
+            raise registry.RegistryError(
+                f"experiment {name!r} is deterministic and takes no --seed"
+            )
+        overrides["seed"] = seed
+    result = spec.run(preset, **overrides)
+    text = _render_result(result)
+    if out_dir is not None:
+        path = result.save_in(out_dir)
+        text += f"\nartifact: {path}"
+    return text
+
+
+def _run_all_worker(
+    name: str, preset: str, seed: int | None, out_dir: str | None
+) -> tuple[str, bool, str]:
+    """Pool entry point for ``run-all``: never raises.
+
+    Runs in a child process; inner Monte-Carlo pools are disabled so
+    parallelism lives at exactly one level.
+    """
+    os.environ["REPRO_WORKERS"] = "1"
+    return _run_all_serial(name, preset, seed, out_dir)
+
+
+def _run_all_serial(
+    name: str, preset: str, seed: int | None, out_dir: str | None
+) -> tuple[str, bool, str]:
+    from repro.experiments import registry
+
+    if seed is not None and not registry.get_spec(name).has_param("seed"):
+        seed = None
+    try:
+        return name, True, _run_one(name, preset, seed, out_dir)
+    except Exception as exc:  # noqa: BLE001 -- one failure must not kill the run
+        return name, False, f"{type(exc).__name__}: {exc}"
 
 
 def _cmd_list() -> int:
+    from repro.experiments import registry
+
     print("experiments (paper tables and figures):")
-    for name in EXPERIMENTS:
-        module = importlib.import_module(EXPERIMENTS[name])
-        doc = (module.__doc__ or "").strip().splitlines()
-        print(f"  {name:22s} {doc[0] if doc else ''}")
+    for spec in registry.specs():
+        print(f"  {spec.name:22s} {spec.paper_ref:26s} {spec.description}")
+    print(f"presets: {', '.join(_PRESETS)} (see 'run --preset')")
     return 0
 
 
@@ -81,26 +105,108 @@ def _cmd_info() -> int:
     return 0
 
 
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments import registry
+
+    try:
+        print(_run_one(args.experiment, args.preset, args.seed, args.out))
+    except registry.UnknownExperimentError as exc:
+        print(f"{exc.args[0]}; see 'python -m repro list'", file=sys.stderr)
+        return 2
+    except registry.RegistryError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    from repro.experiments import registry
+    from repro.sim.runner import resolve_workers
+
+    names = registry.names()
+    workers = min(resolve_workers(args.workers), len(names))
+    jobs = [(name, args.preset, args.seed, args.out) for name in names]
+    if workers <= 1:
+        outcomes = [_run_all_serial(*job) for job in jobs]
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_run_all_worker, *job) for job in jobs]
+            outcomes = [f.result() for f in futures]
+
+    for name, ok, text in outcomes:
+        if ok:
+            print(text)
+        else:
+            print(f"==== {name} ====\nFAILED: {text}")
+        print()
+    failures = [name for name, ok, _ in outcomes if not ok]
+    print(f"ran {len(outcomes)} experiments, preset {args.preset!r}:")
+    for name, ok, _ in outcomes:
+        print(f"  {'PASS' if ok else 'FAIL'}  {name}")
+    if failures:
+        print(f"{len(failures)} failed: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_show(path: str) -> int:
+    from repro.experiments.artifacts import ArtifactError, ExperimentResult
+
+    try:
+        result = ExperimentResult.load(path)
+    except FileNotFoundError:
+        print(f"no such artifact: {path}", file=sys.stderr)
+        return 2
+    except ArtifactError as exc:
+        print(f"cannot load {path}: {exc}", file=sys.stderr)
+        return 2
+    print(_render_result(result))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="multiscatter: multiprotocol backscatter reproduction",
     )
     sub = parser.add_subparsers(dest="command")
-    sub.add_parser("list", help="list available experiments")
+    sub.add_parser("list", help="list declared experiments (fast, no NumPy)")
     sub.add_parser("info", help="library and calibration summary")
     run_p = sub.add_parser("run", help="run one experiment")
     run_p.add_argument("experiment", help="experiment name (see 'list')")
     run_all_p = sub.add_parser("run-all", help="run every experiment")
     for p in (run_p, run_all_p):
         p.add_argument(
+            "--preset",
+            choices=_PRESETS,
+            default="full",
+            help="parameter preset (default: full)",
+        )
+        p.add_argument(
+            "--seed",
+            type=int,
+            default=None,
+            metavar="N",
+            help="override the spec seed (seeded experiments only)",
+        )
+        p.add_argument(
+            "--out",
+            default=None,
+            metavar="DIR",
+            help="write <experiment>.json artifacts under DIR",
+        )
+        p.add_argument(
             "--workers",
             type=int,
             default=None,
             metavar="N",
-            help="Monte-Carlo worker processes (default: REPRO_WORKERS or 1); "
+            help="worker processes (default: REPRO_WORKERS or 1); "
             "results are bit-identical for any worker count",
         )
+    show_p = sub.add_parser("show", help="re-render a saved artifact")
+    show_p.add_argument("artifact", help="path to an artifact .json")
 
     args = parser.parse_args(argv)
     if getattr(args, "workers", None) is not None:
@@ -111,13 +217,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "info":
         return _cmd_info()
     if args.command == "run":
-        return _run_experiment(args.experiment)
+        return _cmd_run(args)
     if args.command == "run-all":
-        status = 0
-        for name in EXPERIMENTS:
-            status |= _run_experiment(name)
-            print()
-        return status
+        return _cmd_run_all(args)
+    if args.command == "show":
+        return _cmd_show(args.artifact)
     parser.print_help()
     return 1
 

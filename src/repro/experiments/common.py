@@ -3,11 +3,10 @@
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
-from typing import Any
 
 import numpy as np
 
+from repro.experiments.artifacts import ExperimentResult
 from repro.phy.protocols import Protocol
 from repro.phy.waveform import Waveform
 from repro.sim.runner import resolve_workers
@@ -17,18 +16,6 @@ __all__ = ["ExperimentResult", "labeled_traces", "PROTOCOL_ORDER"]
 
 #: Presentation order used across result tables.
 PROTOCOL_ORDER = (Protocol.WIFI_N, Protocol.WIFI_B, Protocol.BLE, Protocol.ZIGBEE)
-
-
-@dataclass
-class ExperimentResult:
-    """A named bundle of series/values plus the rendered table."""
-
-    name: str
-    data: dict[str, Any] = field(default_factory=dict)
-    notes: list[str] = field(default_factory=list)
-
-    def __getitem__(self, key: str) -> Any:
-        return self.data[key]
 
 
 def _build_trace(

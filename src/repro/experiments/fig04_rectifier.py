@@ -18,6 +18,7 @@ import numpy as np
 from repro.channel.pathloss import log_distance_path_loss_db
 from repro.core.rectifier import BasicRectifier, ClampRectifier, WispRectifier
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import implements
 from repro.phy import wifi_b
 from repro.sim.metrics import format_table
 
@@ -55,10 +56,14 @@ def downlink_range_m(
     return best
 
 
-def run(*, powers_dbm: np.ndarray | None = None) -> ExperimentResult:
-    powers = (
-        powers_dbm if powers_dbm is not None else np.arange(-35.0, 1.0, 2.5)
-    )
+@implements("fig04_rectifier")
+def run(
+    *,
+    p_start_dbm: float = -35.0,
+    p_stop_dbm: float = 1.0,
+    p_step_db: float = 2.5,
+) -> ExperimentResult:
+    powers = np.arange(p_start_dbm, p_stop_dbm, p_step_db)
     basic = BasicRectifier(noise_v_rms=0.0)
     clamp = ClampRectifier(noise_v_rms=0.0)
     wisp = WispRectifier(noise_v_rms=0.0)
@@ -106,4 +111,6 @@ def format_result(result: ExperimentResult) -> str:
 
 
 if __name__ == "__main__":
-    print(format_result(run()))
+    from repro.experiments.registry import run_preset
+
+    print(run_preset("fig04_rectifier", "full").render())

@@ -20,6 +20,7 @@ from repro.core.identification import (
 from repro.core.rectifier import ClampRectifier
 from repro.core.templates import reference_waveform
 from repro.experiments.common import ExperimentResult, PROTOCOL_ORDER, labeled_traces
+from repro.experiments.registry import implements
 from repro.phy.protocols import Protocol
 from repro.sim.metrics import format_table
 
@@ -41,11 +42,12 @@ def envelope_traces(duration_us: float = 40.0) -> dict[Protocol, np.ndarray]:
     return out
 
 
+@implements("fig05_envelope_id")
 def run(
     *,
+    seed: int,
     n_traces: int = 12,
     grid: tuple[tuple[int, int], ...] = ((20, 60), (40, 120), (60, 100)),
-    seed: int = 5,
     n_workers: int | None = None,
 ) -> ExperimentResult:
     """``grid`` holds (L_p, L_t) pairs in 20 Msps samples."""
@@ -85,4 +87,6 @@ def format_result(result: ExperimentResult) -> str:
 
 
 if __name__ == "__main__":
-    print(format_result(run()))
+    from repro.experiments.registry import run_preset
+
+    print(run_preset("fig05_envelope_id", "full").render())

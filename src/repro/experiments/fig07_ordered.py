@@ -19,18 +19,20 @@ from repro.core.identification import (
 )
 from repro.core.matching import search_thresholds
 from repro.experiments.common import ExperimentResult, PROTOCOL_ORDER, labeled_traces
+from repro.experiments.registry import implements
 from repro.sim.metrics import format_table
 
 __all__ = ["run", "format_result"]
 
 
+@implements("fig07_ordered")
 def run(
     *,
+    seed: int,
     n_traces: int = 12,
     n_train: int = 16,
     sample_rate_hz: float = 10e6,
     power_drop_db: float = 4.0,
-    seed: int = 7,
     n_workers: int | None = None,
 ) -> ExperimentResult:
     """``power_drop_db`` places the tag slightly farther from the
@@ -84,4 +86,6 @@ def format_result(result: ExperimentResult) -> str:
 
 
 if __name__ == "__main__":
-    print(format_result(run()))
+    from repro.experiments.registry import run_preset
+
+    print(run_preset("fig07_ordered", "full").render())

@@ -20,6 +20,7 @@ from repro.core.identification import (
 )
 from repro.core.matching import search_thresholds
 from repro.experiments.common import ExperimentResult, PROTOCOL_ORDER, labeled_traces
+from repro.experiments.registry import implements
 from repro.sim.metrics import format_table
 
 __all__ = ["run", "format_result", "PANELS"]
@@ -32,8 +33,9 @@ PANELS = (
 )
 
 
+@implements("fig08_sampling")
 def run(
-    *, n_traces: int = 12, n_train: int = 8, seed: int = 8, n_workers: int | None = None
+    *, seed: int, n_traces: int = 12, n_train: int = 8, n_workers: int | None = None
 ) -> ExperimentResult:
     reports = {}
     for label, rate, window in PANELS:
@@ -75,4 +77,6 @@ def format_result(result: ExperimentResult) -> str:
 
 
 if __name__ == "__main__":
-    print(format_result(run()))
+    from repro.experiments.registry import run_preset
+
+    print(run_preset("fig08_sampling", "full").render())

@@ -13,6 +13,7 @@ import numpy as np
 from repro.baselines import FreeRider, Hitchhike
 from repro.channel.occlusion import Material
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import implements
 from repro.sim.metrics import format_table
 
 __all__ = ["run", "format_result"]
@@ -20,7 +21,8 @@ __all__ = ["run", "format_result"]
 MATERIALS = (Material.NONE, Material.WOOD, Material.CONCRETE)
 
 
-def run(*, n_packets: int = 400, seed: int = 9) -> ExperimentResult:
+@implements("fig09_baseline_flaws")
+def run(*, seed: int, n_packets: int = 400) -> ExperimentResult:
     rng = np.random.default_rng(seed)
     hh = Hitchhike()
     fr = FreeRider()
@@ -61,4 +63,6 @@ def format_result(result: ExperimentResult) -> str:
 
 
 if __name__ == "__main__":
-    print(format_result(run()))
+    from repro.experiments.registry import run_preset
+
+    print(run_preset("fig09_baseline_flaws", "full").render())

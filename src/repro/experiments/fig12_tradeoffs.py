@@ -15,12 +15,14 @@ import numpy as np
 from repro.core.overlay import Mode
 from repro.core.throughput import OverlayThroughputModel
 from repro.experiments.common import ExperimentResult, PROTOCOL_ORDER
+from repro.experiments.registry import implements
 from repro.sim.metrics import format_table
 
 __all__ = ["run", "format_result"]
 
 
-def run(*, n_locations: int = 100, max_distance_m: float = 8.0, seed: int = 12) -> ExperimentResult:
+@implements("fig12_tradeoffs")
+def run(*, seed: int, n_locations: int = 100, max_distance_m: float = 8.0) -> ExperimentResult:
     rng = np.random.default_rng(seed)
     distances = rng.uniform(1.0, max_distance_m, size=n_locations)
     table: dict[tuple, dict[str, float]] = {}
@@ -70,4 +72,6 @@ def format_result(result: ExperimentResult) -> str:
 
 
 if __name__ == "__main__":
-    print(format_result(run()))
+    from repro.experiments.registry import run_preset
+
+    print(run_preset("fig12_tradeoffs", "full").render())

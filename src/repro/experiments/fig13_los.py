@@ -13,6 +13,7 @@ from repro.channel.link import PROTOCOL_LINK_DEFAULTS, BackscatterLink
 from repro.core.overlay import Mode
 from repro.core.throughput import OverlayThroughputModel
 from repro.experiments.common import ExperimentResult, PROTOCOL_ORDER
+from repro.experiments.registry import implements
 from repro.sim.metrics import format_table
 
 __all__ = ["run", "format_result", "sweep"]
@@ -41,7 +42,11 @@ def sweep(
     return data
 
 
-def run(*, distances: np.ndarray | None = None) -> ExperimentResult:
+@implements("fig13_los")
+def run(
+    *, d_start_m: float = 1.0, d_stop_m: float = 32.0, d_step_m: float = 1.0
+) -> ExperimentResult:
+    distances = np.arange(d_start_m, d_stop_m, d_step_m)
     return ExperimentResult(
         name="fig13_los",
         data=sweep(extra_loss_db=0.0, distances=distances),
@@ -76,4 +81,6 @@ def format_result(result: ExperimentResult) -> str:
 
 
 if __name__ == "__main__":
-    print(format_result(run()))
+    from repro.experiments.registry import run_preset
+
+    print(run_preset("fig13_los", "full").render())

@@ -12,6 +12,7 @@ import numpy as np
 
 from repro.experiments.common import ExperimentResult, PROTOCOL_ORDER
 from repro.experiments.fig13_los import sweep
+from repro.experiments.registry import implements
 from repro.sim.metrics import format_table
 
 __all__ = ["run", "format_result", "OFFICE_WALL_LOSS_DB"]
@@ -21,7 +22,11 @@ __all__ = ["run", "format_result", "OFFICE_WALL_LOSS_DB"]
 OFFICE_WALL_LOSS_DB = 1.8
 
 
-def run(*, distances: np.ndarray | None = None) -> ExperimentResult:
+@implements("fig14_nlos")
+def run(
+    *, d_start_m: float = 1.0, d_stop_m: float = 32.0, d_step_m: float = 1.0
+) -> ExperimentResult:
+    distances = np.arange(d_start_m, d_stop_m, d_step_m)
     return ExperimentResult(
         name="fig14_nlos",
         data=sweep(extra_loss_db=OFFICE_WALL_LOSS_DB, distances=distances),
@@ -53,4 +58,6 @@ def format_result(result: ExperimentResult) -> str:
 
 
 if __name__ == "__main__":
-    print(format_result(run()))
+    from repro.experiments.registry import run_preset
+
+    print(run_preset("fig14_nlos", "full").render())

@@ -16,19 +16,22 @@ from repro.channel.occlusion import Material
 from repro.core.overlay import Mode
 from repro.core.throughput import OverlayThroughputModel
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import implements
 from repro.phy.protocols import Protocol
 from repro.sim.metrics import format_table
 
 __all__ = ["run", "format_result"]
 
 
+@implements("fig15_occlusion")
 def run(
     *,
-    material: Material = Material.DRYWALL,
+    seed: int,
+    material: str = "drywall",
     distance_m: float = 2.0,
     n_packets: int = 500,
-    seed: int = 15,
 ) -> ExperimentResult:
+    obstruction = Material(material)
     rng = np.random.default_rng(seed)
     multi_ble = OverlayThroughputModel(Protocol.BLE, mode=Mode.MODE_1).evaluate(
         distance_m
@@ -36,8 +39,8 @@ def run(
     multi_11b = OverlayThroughputModel(Protocol.WIFI_B, mode=Mode.MODE_1).evaluate(
         distance_m
     )
-    hh = Hitchhike().tag_throughput_kbps(material, rng, n_packets=n_packets)
-    fr = FreeRider().tag_throughput_kbps(material, rng, n_packets=n_packets)
+    hh = Hitchhike().tag_throughput_kbps(obstruction, rng, n_packets=n_packets)
+    fr = FreeRider().tag_throughput_kbps(obstruction, rng, n_packets=n_packets)
     return ExperimentResult(
         name="fig15_occlusion",
         data={
@@ -45,7 +48,7 @@ def run(
             "multiscatter_11b_kbps": multi_11b.tag_kbps,
             "hitchhike_kbps": hh,
             "freerider_kbps": fr,
-            "material": material,
+            "material": obstruction,
         },
         notes=[
             "paper: multiscatter 136 (BLE) / 121 (11b) vs Hitchhike 94, FreeRider 33 kbps",
@@ -68,4 +71,6 @@ def format_result(result: ExperimentResult) -> str:
 
 
 if __name__ == "__main__":
-    print(format_result(run()))
+    from repro.experiments.registry import run_preset
+
+    print(run_preset("fig15_occlusion", "full").render())

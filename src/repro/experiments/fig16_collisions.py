@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core.identification import IdentificationConfig, ProtocolIdentifier
 from repro.core.overlay import Mode
+from repro.experiments.registry import implements
 from repro.core.throughput import OverlayThroughputModel
 from repro.experiments.common import ExperimentResult
 from repro.phy.protocols import Protocol
@@ -78,7 +79,8 @@ def survival_rate(
     return hits / n_trials
 
 
-def run(*, n_trials: int = 16, seed: int = 16) -> ExperimentResult:
+@implements("fig16_collisions")
+def run(*, seed: int, n_trials: int = 16) -> ExperimentResult:
     rng = np.random.default_rng(seed)
     ident = ProtocolIdentifier(
         IdentificationConfig(
@@ -175,4 +177,6 @@ def format_result(result: ExperimentResult) -> str:
 
 
 if __name__ == "__main__":
-    print(format_result(run()))
+    from repro.experiments.registry import run_preset
+
+    print(run_preset("fig16_collisions", "full").render())

@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import implements
 from repro.phy import wifi_b, wifi_n
 from repro.sim.metrics import format_table
 
@@ -154,12 +155,13 @@ def wifi_n_tag_ber(
     return errors / max(total, 1)
 
 
+@implements("fig17_refmod")
 def run(
     *,
+    seed: int,
     snr_11b_db: float = 3.0,
     snr_11n_db: float = 12.0,
     n_packets: int = 6,
-    seed: int = 17,
 ) -> ExperimentResult:
     rng = np.random.default_rng(seed)
     bers_11b = {
@@ -191,4 +193,6 @@ def format_result(result: ExperimentResult) -> str:
 
 
 if __name__ == "__main__":
-    print(format_result(run()))
+    from repro.experiments.registry import run_preset
+
+    print(run_preset("fig17_refmod", "full").render())

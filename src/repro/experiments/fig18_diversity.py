@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.core.carrier_select import CarrierSelector, diversity_timeline
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import implements
 from repro.phy.protocols import Protocol
 from repro.sim.metrics import format_table
 from repro.sim.traffic import ExcitationSchedule, ExcitationSource
@@ -24,11 +25,12 @@ __all__ = ["run", "format_result", "GOODPUT_GOAL_KBPS"]
 GOODPUT_GOAL_KBPS = 6.3
 
 
+@implements("fig18_diversity")
 def run(
     *,
+    seed: int,
     duration_s: float = 4.0,
     duty_period_s: float = 1.0,
-    seed: int = 18,
 ) -> ExperimentResult:
     rng = np.random.default_rng(seed)
 
@@ -98,4 +100,6 @@ def format_result(result: ExperimentResult) -> str:
 
 
 if __name__ == "__main__":
-    print(format_result(run()))
+    from repro.experiments.registry import run_preset
+
+    print(run_preset("fig18_diversity", "full").render())

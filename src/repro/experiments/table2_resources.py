@@ -13,12 +13,14 @@ from repro.core.resources import (
     quantized_correlator_dffs,
 )
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import implements
 from repro.phy.protocols import Protocol
 from repro.sim.metrics import format_table
 
 __all__ = ["run", "format_result"]
 
 
+@implements("table2_resources")
 def run(*, template_size: int = 120) -> ExperimentResult:
     naive = naive_correlator_dffs(template_size, n_protocols=4)
     quantized = quantized_correlator_dffs(template_size, n_protocols=4)
@@ -62,4 +64,6 @@ def format_result(result: ExperimentResult) -> str:
 
 
 if __name__ == "__main__":
-    print(format_result(run()))
+    from repro.experiments.registry import run_preset
+
+    print(run_preset("table2_resources", "full").render())

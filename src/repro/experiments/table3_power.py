@@ -10,11 +10,13 @@ from __future__ import annotations
 
 from repro.core.energy import PROTOTYPE_POWER
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import implements
 from repro.sim.metrics import format_table
 
 __all__ = ["run", "format_result"]
 
 
+@implements("table3_power")
 def run(*, adc_rate_hz: float = 20e6) -> ExperimentResult:
     peak = PROTOTYPE_POWER
     scaled = peak.at_adc_rate(adc_rate_hz)
@@ -40,4 +42,6 @@ def format_result(result: ExperimentResult) -> str:
 
 
 if __name__ == "__main__":
-    print(format_result(run()))
+    from repro.experiments.registry import run_preset
+
+    print(run_preset("table3_power", "full").render())

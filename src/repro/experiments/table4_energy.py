@@ -14,11 +14,13 @@ from __future__ import annotations
 
 from repro.core.energy import EnergyBudget, exchange_times, INDOOR_LUX, OUTDOOR_LUX
 from repro.experiments.common import ExperimentResult, PROTOCOL_ORDER
+from repro.experiments.registry import implements
 from repro.sim.metrics import format_table
 
 __all__ = ["run", "format_result"]
 
 
+@implements("table4_energy")
 def run() -> ExperimentResult:
     budget = EnergyBudget()
     table = exchange_times(budget)
@@ -60,4 +62,6 @@ def format_result(result: ExperimentResult) -> str:
 
 
 if __name__ == "__main__":
-    print(format_result(run()))
+    from repro.experiments.registry import run_preset
+
+    print(run_preset("table4_energy", "full").render())

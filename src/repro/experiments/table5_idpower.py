@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.core.resources import CorrelatorDesign
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import implements
 from repro.sim.metrics import format_table
 
 __all__ = ["run", "format_result", "VARIANTS"]
@@ -22,6 +23,7 @@ VARIANTS = (
 )
 
 
+@implements("table5_idpower")
 def run() -> ExperimentResult:
     rows = {}
     for label, rate, window, quantized in VARIANTS:
@@ -53,4 +55,6 @@ def format_result(result: ExperimentResult) -> str:
 
 
 if __name__ == "__main__":
-    print(format_result(run()))
+    from repro.experiments.registry import run_preset
+
+    print(run_preset("table5_idpower", "full").render())

@@ -21,6 +21,7 @@ from repro.channel.link import (
     ber_gfsk_noncoherent,
 )
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import implements
 from repro.phy import ble, bits as bitlib, wifi_b, wifi_n, zigbee
 from repro.phy.protocols import Protocol
 from repro.sim.metrics import format_table
@@ -111,12 +112,13 @@ def measure_ber(
     return errors / max(total, 1)
 
 
+@implements("validation_ber")
 def run(
     *,
+    seed: int,
     ebn0_grid_db: tuple[float, ...] = (4.0, 8.0, 12.0),
     n_packets: int = 4,
     payload_bytes: int = 30,
-    seed: int = 77,
 ) -> ExperimentResult:
     rng = np.random.default_rng(seed)
     rows = {}
@@ -149,4 +151,6 @@ def format_result(result: ExperimentResult) -> str:
 
 
 if __name__ == "__main__":
-    print(format_result(run()))
+    from repro.experiments.registry import run_preset
+
+    print(run_preset("validation_ber", "full").render())

@@ -22,7 +22,33 @@ from typing import Callable
 
 import numpy as np
 
-__all__ = ["MonteCarlo", "TrialStats", "resolve_workers"]
+__all__ = ["MonteCarlo", "TrialStats", "resolve_workers", "validate_bounds"]
+
+
+def validate_bounds(
+    *,
+    n_trials: int | None = None,
+    n_workers: int | None = None,
+    where: str = "",
+) -> None:
+    """Validate the shared count/worker knobs in one place.
+
+    ``n_trials`` covers every repeat-count style parameter (trials,
+    traces, packets, locations, ...); ``n_workers`` is the pool size.
+    ``None`` means "not supplied" and is always accepted.  ``where``
+    names the caller in the error message.
+    """
+    ctx = f" in {where}" if where else ""
+    if n_trials is not None:
+        if not isinstance(n_trials, int) or isinstance(n_trials, bool):
+            raise ValueError(f"count{ctx} must be an int, got {n_trials!r}")
+        if n_trials < 1:
+            raise ValueError(f"count{ctx} must be >= 1, got {n_trials}")
+    if n_workers is not None:
+        if not isinstance(n_workers, int) or isinstance(n_workers, bool):
+            raise ValueError(f"n_workers{ctx} must be an int, got {n_workers!r}")
+        if n_workers < 1:
+            raise ValueError(f"n_workers{ctx} must be >= 1, got {n_workers}")
 
 
 def resolve_workers(n_workers: int | None = None) -> int:
@@ -99,8 +125,7 @@ class MonteCarlo:
     n_workers: int | None = None
 
     def run(self, trial: Callable[[np.random.Generator], dict[str, float]]) -> dict[str, TrialStats]:
-        if self.n_trials < 1:
-            raise ValueError("n_trials must be >= 1")
+        validate_bounds(n_trials=self.n_trials, where="MonteCarlo")
         root = np.random.SeedSequence(self.seed)
         seeds = root.spawn(self.n_trials)
         workers = min(resolve_workers(self.n_workers), self.n_trials)

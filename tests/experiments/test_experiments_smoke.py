@@ -1,103 +1,13 @@
-"""Smoke tests: every experiment module runs and renders at small scale.
+"""Smoke tests for the shared experiment helpers.
 
-The benchmarks assert the paper-facing numbers; these tests only pin
-the harness contract (structure, formatting, runnability) so refactors
-cannot silently break an experiment module without a bench run.
+Per-experiment runnability, rendering, and structure are pinned by the
+registry contract tests (``test_registry.py``); this file keeps the
+helper-level checks that don't go through a spec.
 """
 
 import numpy as np
-import pytest
 
-from repro.experiments import (
-    fig04_rectifier,
-    fig05_envelope_id,
-    fig07_ordered,
-    fig08_sampling,
-    fig09_baseline_flaws,
-    fig12_tradeoffs,
-    fig13_los,
-    fig14_nlos,
-    fig15_occlusion,
-    fig17_refmod,
-    fig18_diversity,
-    table2_resources,
-    table3_power,
-    table4_energy,
-    table5_idpower,
-)
 from repro.experiments.common import ExperimentResult, labeled_traces
-from repro.phy.protocols import Protocol
-
-
-def _check(module, result):
-    assert isinstance(result, ExperimentResult)
-    text = module.format_result(result)
-    assert isinstance(text, str) and len(text) > 20
-    assert result.notes
-
-
-class TestFigureModules:
-    def test_fig04(self):
-        result = fig04_rectifier.run(powers_dbm=np.array([-30.0, -10.0]))
-        _check(fig04_rectifier, result)
-        assert result["downlink_range_m"] > 0
-
-    def test_fig05(self):
-        result = fig05_envelope_id.run(n_traces=2, grid=((40, 120),))
-        _check(fig05_envelope_id, result)
-        assert (40, 120) in result["grid_reports"]
-
-    def test_fig07(self):
-        result = fig07_ordered.run(n_traces=2, n_train=2)
-        _check(fig07_ordered, result)
-        assert set(result["thresholds"]) == set(Protocol)
-
-    def test_fig08(self):
-        result = fig08_sampling.run(n_traces=2, n_train=2)
-        _check(fig08_sampling, result)
-        assert len(result["reports"]) == 3
-
-    def test_fig09(self):
-        result = fig09_baseline_flaws.run(n_packets=30)
-        _check(fig09_baseline_flaws, result)
-        assert set(result["bers"]) == {"hitchhike", "freerider"}
-
-    def test_fig12(self):
-        result = fig12_tradeoffs.run(n_locations=4)
-        _check(fig12_tradeoffs, result)
-        assert len(result["table"]) == 12  # 4 protocols x 3 modes
-
-    def test_fig13_14(self):
-        d = np.array([2.0, 10.0])
-        for module in (fig13_los, fig14_nlos):
-            result = module.run(distances=d)
-            _check(module, result)
-            assert set(result["per_protocol"]) == set(Protocol)
-
-    def test_fig15(self):
-        result = fig15_occlusion.run(n_packets=40)
-        _check(fig15_occlusion, result)
-        assert result["hitchhike_kbps"] >= 0
-
-    def test_fig17(self):
-        result = fig17_refmod.run(n_packets=1)
-        _check(fig17_refmod, result)
-        assert len(result["wifi_b"]) == 3
-        assert len(result["wifi_n"]) == 3
-
-    def test_fig18(self):
-        result = fig18_diversity.run(duration_s=0.5)
-        _check(fig18_diversity, result)
-        assert result["picked"] in set(Protocol) | {None}
-
-
-class TestTableModules:
-    @pytest.mark.parametrize(
-        "module", [table2_resources, table3_power, table4_energy, table5_idpower]
-    )
-    def test_runs_and_formats(self, module):
-        result = module.run()
-        _check(module, result)
 
 
 class TestCommon:

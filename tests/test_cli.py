@@ -1,34 +1,113 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import EXPERIMENTS, main
+from repro.cli import main
+from repro.experiments import registry
+from repro.experiments.artifacts import ExperimentResult
 
 
-class TestCli:
+class TestListInfo:
     def test_list(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
-        for name in ("fig13_los", "table4_energy"):
+        for name in registry.names():
             assert name in out
+        assert "quick, full, paper" in out
 
     def test_info(self, capsys):
         assert main(["info"]) == 0
         out = capsys.readouterr().out
         assert "28.0 m" in out
 
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 1
+
+
+class TestRun:
     def test_run_table(self, capsys):
         assert main(["run", "table2_resources"]) == 0
         out = capsys.readouterr().out
+        assert "==== table2_resources ====" in out
         assert "133364" in out
+        assert "note:" in out
 
     def test_run_unknown(self, capsys):
         assert main(["run", "fig99_nope"]) == 2
+        assert "fig99_nope" in capsys.readouterr().err
 
-    def test_no_command_prints_help(self, capsys):
-        assert main([]) == 1
-        assert "experiments" in capsys.readouterr().out or True
+    def test_run_seed_on_deterministic_experiment(self, capsys):
+        assert main(["run", "table2_resources", "--seed", "3"]) == 2
+        assert "no --seed" in capsys.readouterr().err
 
-    def test_catalogue_complete(self):
-        # Every experiment module with a run() is exposed.
-        assert len(EXPERIMENTS) == 17
+    def test_run_writes_artifact_and_show_rerenders(self, capsys, tmp_path):
+        assert main([
+            "run", "fig15_occlusion", "--preset", "quick",
+            "--seed", "7", "--out", str(tmp_path),
+        ]) == 0
+        run_out = capsys.readouterr().out
+        path = tmp_path / "fig15_occlusion.json"
+        assert f"artifact: {path}" in run_out
+
+        doc = json.loads(path.read_text())
+        assert doc["name"] == "fig15_occlusion"
+        assert doc["preset"] == "quick"
+        assert doc["params"]["seed"] == 7
+
+        assert main(["show", str(path)]) == 0
+        show_out = capsys.readouterr().out
+        assert show_out == run_out.replace(f"artifact: {path}\n", "")
+
+    def test_show_rejects_garbage(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main(["show", str(bad)]) == 2
+        assert main(["show", str(tmp_path / "missing.json")]) == 2
+
+
+class TestRunAll:
+    @pytest.fixture
+    def two_experiment_registry(self, monkeypatch):
+        keep = ("table2_resources", "table5_idpower")
+        monkeypatch.setattr(
+            registry, "_SPECS", {k: registry._SPECS[k] for k in keep}
+        )
+        return keep
+
+    def test_run_all_pass(self, capsys, tmp_path, two_experiment_registry):
+        assert main(["run-all", "--preset", "quick", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        for name in two_experiment_registry:
+            assert f"PASS  {name}" in out
+            assert (tmp_path / f"{name}.json").is_file()
+
+    def test_run_all_reports_failure(self, capsys, monkeypatch, two_experiment_registry):
+        def boom(**kwargs):
+            raise RuntimeError("deliberate test failure")
+
+        registry.get_spec("table5_idpower")._resolve()  # populate _IMPLS
+        monkeypatch.setitem(registry._IMPLS, "table5_idpower", boom)
+        assert main(["run-all", "--preset", "quick"]) == 1
+        captured = capsys.readouterr()
+        assert "PASS  table2_resources" in captured.out
+        assert "FAIL  table5_idpower" in captured.out
+        assert "deliberate test failure" in captured.out
+        assert "1 failed" in captured.err
+
+    @pytest.mark.slow
+    def test_run_all_parallel(self, capsys, tmp_path, monkeypatch, two_experiment_registry):
+        # The parallel path forks workers; results must match serial.
+        # main() publishes --workers via REPRO_WORKERS; monkeypatch
+        # restores the environment after the test.
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+        assert main([
+            "run-all", "--preset", "quick", "--workers", "2",
+            "--out", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.count("PASS") == 2
+        for name in two_experiment_registry:
+            loaded = ExperimentResult.load(tmp_path / f"{name}.json")
+            assert loaded.to_json() == registry.run_preset(name, "quick").to_json()

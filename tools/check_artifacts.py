@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Validate a run directory of experiment artifacts.
+
+Loads every ``*.json`` under the given directory as a versioned
+:class:`repro.experiments.artifacts.ExperimentResult`, checks its
+schema (tag, version, provenance stamps), verifies it re-renders, and
+confirms a byte-stable re-serialization.  With ``--expect-all`` the
+directory must contain one artifact per registry-declared experiment
+-- the CI smoke job runs ``run-all --preset quick --out DIR`` and then
+gates on this.
+
+Usage::
+
+    python tools/check_artifacts.py runs/x
+    python tools/check_artifacts.py runs/x --expect-all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def check_artifact(path: Path) -> list[str]:
+    """Problems with one artifact file (empty list means valid)."""
+    from repro.experiments.artifacts import ArtifactError, ExperimentResult
+    from repro.experiments.registry import PRESET_NAMES
+
+    try:
+        result = ExperimentResult.load(path)
+    except (ArtifactError, OSError) as exc:
+        return [f"unloadable: {exc}"]
+    problems = []
+    if path.stem != result.name:
+        problems.append(f"file name {path.stem!r} != experiment {result.name!r}")
+    if result.preset not in PRESET_NAMES:
+        problems.append(f"preset {result.preset!r} is not one of {PRESET_NAMES}")
+    if not isinstance(result.params, dict):
+        problems.append("missing params provenance")
+    try:
+        rendered = result.render()
+    except Exception as exc:  # noqa: BLE001 -- any render failure invalidates
+        return problems + [f"render failed: {type(exc).__name__}: {exc}"]
+    if not rendered.strip():
+        problems.append("render produced no output")
+    text = result.to_json()
+    if ExperimentResult.from_json(text).to_json() != text:
+        problems.append("re-serialization is not byte-stable")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("out_dir", help="run directory holding *.json artifacts")
+    parser.add_argument(
+        "--expect-all",
+        action="store_true",
+        help="require one artifact per registry-declared experiment",
+    )
+    args = parser.parse_args(argv)
+
+    out_dir = Path(args.out_dir)
+    paths = sorted(out_dir.glob("*.json"))
+    if not paths:
+        print(f"no artifacts found under {out_dir}", file=sys.stderr)
+        return 1
+
+    failures = 0
+    for path in paths:
+        problems = check_artifact(path)
+        if problems:
+            failures += 1
+            for problem in problems:
+                print(f"FAIL  {path.name}: {problem}")
+        else:
+            print(f"ok    {path.name}")
+
+    if args.expect_all:
+        from repro.experiments import registry
+
+        missing = [n for n in registry.names() if not (out_dir / f"{n}.json").is_file()]
+        for name in missing:
+            failures += 1
+            print(f"FAIL  missing artifact for {name}")
+
+    if failures:
+        print(f"{failures} problem(s)", file=sys.stderr)
+        return 1
+    print(f"{len(paths)} artifact(s) valid")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
