@@ -14,9 +14,11 @@ test:
 test-fast:
 	$(PYTHON) -m pytest tests/ -m "not slow"
 
-# Determinism/dtype AST linter (docs/STATIC_ANALYSIS.md).
+# Determinism/dtype AST linter + units/purity dataflow analyzer
+# (docs/STATIC_ANALYSIS.md).
 lint:
 	$(PYTHON) -m tools.reprolint src/
+	$(PYTHON) -m tools.reproflow src/repro
 
 # mypy (strict on repro.phy/core/channel/sim per pyproject.toml).
 # Skips with a notice when mypy is not installed, so `make check`

@@ -24,6 +24,7 @@ from scipy import special
 from repro.channel import pathloss
 from repro.channel.noise import noise_floor_dbm
 from repro.phy.protocols import Protocol
+from repro.types import Bits, DbmPower, Decibels, Hertz, Meters, Ratio
 
 __all__ = [
     "LinkBudget",
@@ -96,17 +97,17 @@ class LinkBudget:
     """
 
     protocol: Protocol
-    tx_power_dbm: float
-    bandwidth_hz: float
-    bit_rate_hz: float
-    tx_gain_dbi: float = 3.0
-    rx_gain_dbi: float = 3.0
-    backscatter_loss_db: float = 12.0
-    noise_figure_db: float = 7.0
-    calibration_offset_db: float = 0.0
+    tx_power_dbm: DbmPower
+    bandwidth_hz: Hertz
+    bit_rate_hz: Hertz
+    tx_gain_dbi: Decibels = 3.0
+    rx_gain_dbi: Decibels = 3.0
+    backscatter_loss_db: Decibels = 12.0
+    noise_figure_db: Decibels = 7.0
+    calibration_offset_db: Decibels = 0.0
 
     @property
-    def processing_gain_db(self) -> float:
+    def processing_gain_db(self) -> Decibels:
         """Bandwidth-to-bit-rate ratio (despreading gain)."""
         return float(10.0 * np.log10(self.bandwidth_hz / self.bit_rate_hz))
 
@@ -178,17 +179,17 @@ class BackscatterLink:
         self.extra_loss_db = extra_loss_db
 
     # -- power -----------------------------------------------------------
-    def _pl(self, d: float) -> float:
+    def _pl(self, d: Meters) -> Decibels:
         return pathloss.log_distance_path_loss_db(
             d, exponent=self.exponent, pl0_db=self.pl0_db
         )
 
-    def incident_power_dbm(self) -> float:
+    def incident_power_dbm(self) -> DbmPower:
         """Excitation power arriving at the tag antenna (downlink)."""
         b = self.budget
         return b.tx_power_dbm + b.tx_gain_dbi - self._pl(self.d_tx_tag_m)
 
-    def rssi_dbm(self, d_tag_rx_m: float) -> float:
+    def rssi_dbm(self, d_tag_rx_m: Meters) -> DbmPower:
         """Backscatter RSSI at the receiver, ``d_tag_rx_m`` from the tag."""
         b = self.budget
         return (
@@ -200,7 +201,7 @@ class BackscatterLink:
         )
 
     # -- quality ---------------------------------------------------------
-    def snr_db(self, d_tag_rx_m: float) -> float:
+    def snr_db(self, d_tag_rx_m: Meters) -> Decibels:
         """Effective decoding SNR: RSSI over the noise floor, shifted by
         the per-protocol calibration offset (receiver implementation
         margin; see DESIGN.md §5)."""
@@ -211,15 +212,15 @@ class BackscatterLink:
             - noise_floor_dbm(b.bandwidth_hz, b.noise_figure_db)
         )
 
-    def ebn0_db(self, d_tag_rx_m: float) -> float:
+    def ebn0_db(self, d_tag_rx_m: Meters) -> Decibels:
         return self.snr_db(d_tag_rx_m) + self.budget.processing_gain_db
 
-    def ber(self, d_tag_rx_m: float) -> float:
+    def ber(self, d_tag_rx_m: Meters) -> Ratio:
         """Raw bit error rate of the backscattered stream."""
         ebn0 = 10.0 ** (self.ebn0_db(d_tag_rx_m) / 10.0)
         return _BER_MODEL[self.budget.protocol](ebn0)
 
-    def per(self, d_tag_rx_m: float, n_bits: int) -> float:
+    def per(self, d_tag_rx_m: Meters, n_bits: Bits) -> Ratio:
         """Packet error rate for an ``n_bits`` packet (iid bit errors)."""
         if n_bits <= 0:
             raise ValueError("n_bits must be positive")
@@ -244,7 +245,7 @@ class BackscatterLink:
                 break
         return last_good
 
-    def with_occlusion(self, wall_loss_db: float) -> "BackscatterLink":
+    def with_occlusion(self, wall_loss_db: Decibels) -> "BackscatterLink":
         """A copy of this link with extra one-way loss (NLoS)."""
         return BackscatterLink(
             self.budget,

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.types import ComplexIQ
+from repro.types import ComplexIQ, DbmPower, Decibels, Hertz, Milliwatts, Samples
 
 from repro.phy.waveform import Waveform
 from repro.rng import fallback_rng
@@ -23,14 +23,14 @@ THERMAL_NOISE_DBM_PER_HZ = -174.0
 DEFAULT_NOISE_FIGURE_DB = 7.0
 
 
-def noise_floor_dbm(bandwidth_hz: float, noise_figure_db: float = DEFAULT_NOISE_FIGURE_DB) -> float:
+def noise_floor_dbm(bandwidth_hz: Hertz, noise_figure_db: Decibels = DEFAULT_NOISE_FIGURE_DB) -> DbmPower:
     """Receiver noise floor: -174 + 10 log10(B) + NF."""
     if bandwidth_hz <= 0:
         raise ValueError("bandwidth must be positive")
     return THERMAL_NOISE_DBM_PER_HZ + 10.0 * np.log10(bandwidth_hz) + noise_figure_db
 
 
-def complex_noise(n: int, power_mw: float, rng: np.random.Generator) -> ComplexIQ:
+def complex_noise(n: Samples, power_mw: Milliwatts, rng: np.random.Generator) -> ComplexIQ:
     """Circular complex Gaussian samples of mean power ``power_mw``."""
     if power_mw < 0:
         raise ValueError("noise power must be non-negative")
@@ -41,8 +41,8 @@ def complex_noise(n: int, power_mw: float, rng: np.random.Generator) -> ComplexI
 def awgn(
     wave: Waveform,
     *,
-    snr_db: float | None = None,
-    noise_power_dbm: float | None = None,
+    snr_db: Decibels | None = None,
+    noise_power_dbm: DbmPower | None = None,
     rng: np.random.Generator | None = None,
 ) -> Waveform:
     """Add white Gaussian noise.

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.types import DbmPower, Decibels, Hertz, Meters, Milliwatts, Ratio
+
 __all__ = [
     "SPEED_OF_LIGHT",
     "wavelength",
@@ -31,14 +33,14 @@ DEFAULT_EXPONENT = 1.8
 DEFAULT_PL0_DB = 40.05
 
 
-def wavelength(freq_hz: float) -> float:
+def wavelength(freq_hz: Hertz) -> Meters:
     """Carrier wavelength in meters."""
     if freq_hz <= 0:
         raise ValueError("frequency must be positive")
     return SPEED_OF_LIGHT / freq_hz
 
 
-def free_space_path_loss_db(distance_m: float, freq_hz: float = 2.4e9) -> float:
+def free_space_path_loss_db(distance_m: Meters, freq_hz: Hertz = 2.4e9) -> Decibels:
     """Friis free-space loss; ``distance_m`` is clamped to >= 0.01 m."""
     d = max(float(distance_m), 0.01)
     lam = wavelength(freq_hz)
@@ -46,7 +48,7 @@ def free_space_path_loss_db(distance_m: float, freq_hz: float = 2.4e9) -> float:
 
 
 def log_distance_path_loss_db(
-    distance_m: float,
+    distance_m: Meters,
     *,
     exponent: float = DEFAULT_EXPONENT,
     pl0_db: float = DEFAULT_PL0_DB,
@@ -59,23 +61,23 @@ def log_distance_path_loss_db(
     return float(pl0_db + 10.0 * exponent * np.log10(d / d0_m))
 
 
-def db_to_gain(db: float) -> float:
+def db_to_gain(db: Decibels) -> Ratio:
     """Power dB to amplitude scale factor."""
     return float(10.0 ** (db / 20.0))
 
 
-def gain_to_db(gain: float) -> float:
+def gain_to_db(gain: Ratio) -> Decibels:
     """Amplitude scale factor to power dB."""
     if gain <= 0:
         raise ValueError("gain must be positive")
     return float(20.0 * np.log10(gain))
 
 
-def dbm_to_mw(dbm: float) -> float:
+def dbm_to_mw(dbm: DbmPower) -> Milliwatts:
     return float(10.0 ** (dbm / 10.0))
 
 
-def mw_to_dbm(mw: float) -> float:
+def mw_to_dbm(mw: Milliwatts) -> DbmPower:
     if mw <= 0:
         raise ValueError("power must be positive")
     return float(10.0 * np.log10(mw))

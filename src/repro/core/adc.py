@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.types import FloatArray
+from repro.types import FloatArray, Hertz, Seconds, Volts
 from scipy import signal as sp_signal
 
 from repro.core.rectifier import RectifierOutput
@@ -30,8 +30,8 @@ class AdcCapture:
     """Digitized baseband: integer codes plus acquisition metadata."""
 
     codes: np.ndarray
-    sample_rate: float
-    v_ref: float
+    sample_rate: Hertz
+    v_ref: Volts
     n_bits: int
 
     def volts(self) -> FloatArray:
@@ -50,9 +50,9 @@ class Adc:
     (the paper's correlator uses 9 of the AD9235's bits).
     """
 
-    sample_rate: float = 20e6
+    sample_rate: Hertz = 20e6
     n_bits: int = 9
-    v_ref: float = 0.25
+    v_ref: Volts = 0.25
     antialias: bool = True
 
     def __post_init__(self) -> None:
@@ -88,9 +88,9 @@ class Adc:
         self,
         analog: RectifierOutput,
         *,
-        start_s: float = 0.0,
-        duration_s: float | None = None,
-        phase_s: float = 0.0,
+        start_s: Seconds = 0.0,
+        duration_s: Seconds | None = None,
+        phase_s: Seconds = 0.0,
     ) -> AdcCapture:
         """Digitize ``analog`` from ``start_s`` for ``duration_s``.
 
@@ -117,7 +117,7 @@ class Adc:
             n_bits=self.n_bits,
         )
 
-    def tuned_to(self, full_scale_v: float) -> "Adc":
+    def tuned_to(self, full_scale_v: Volts) -> "Adc":
         """Reference-voltage tuning (§2.3 note 3): match v_ref to the
         input's full-scale range so more output codes are used."""
         if full_scale_v <= 0:

@@ -133,19 +133,19 @@ class EnergyBudget:
     def runtime_per_charge_s(self) -> float:
         return self.capacitor.runtime_s(self.power.total_mw)
 
-    def packets_per_charge(self, packet_rate: float) -> float:
+    def packets_per_charge(self, packet_rate_hz: float) -> float:
         """Backscattered packets per discharge (360 for 2000 pkt/s)."""
-        if packet_rate <= 0:
-            raise ValueError("packet_rate must be positive")
-        return packet_rate * self.runtime_per_charge_s
+        if packet_rate_hz <= 0:
+            raise ValueError("packet_rate_hz must be positive")
+        return packet_rate_hz * self.runtime_per_charge_s
 
     def harvest_time_s(self, lux: float) -> float:
         return self.harvester.harvest_time_s(self.capacitor.usable_energy_j, lux)
 
-    def exchange_time_s(self, packet_rate: float, lux: float) -> float:
+    def exchange_time_s(self, packet_rate_hz: float, lux: float) -> float:
         """Average time between two tag-data exchanges of one packet:
         one recharge amortized over the packets a charge supports."""
-        return self.harvest_time_s(lux) / self.packets_per_charge(packet_rate)
+        return self.harvest_time_s(lux) / self.packets_per_charge(packet_rate_hz)
 
 
 #: Illuminances used in Table 4.

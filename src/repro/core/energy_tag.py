@@ -98,7 +98,7 @@ class EnergyAwareTag:
         **kwargs,
     ) -> TagReaction | None:
         """Handle one packet at time ``t``; ``None`` when dark."""
-        airtime = wave.duration
+        airtime = wave.duration_s
         if not self.can_react(t, airtime):
             return None
         reaction = self.tag.react(wave, tag_bits, **kwargs)

@@ -27,6 +27,7 @@ from repro.core.templates import BASE_WINDOW_US, TemplateBank
 from repro.phy.protocols import Protocol
 from repro.phy.waveform import Waveform
 from repro.rng import fallback_rng
+from repro.types import DbmPower, Hertz, Microseconds, Samples
 
 __all__ = ["IdentificationConfig", "ProtocolIdentifier", "IdentificationResult"]
 
@@ -41,14 +42,14 @@ class IdentificationConfig:
     (blind vs ordered matching, Fig 7).
     """
 
-    sample_rate_hz: float = 20e6
+    sample_rate_hz: Hertz = 20e6
     n_bits: int = 9
     quantized: bool = False
-    window_us: float = BASE_WINDOW_US
-    preprocess_us: float = 2.0
+    window_us: Microseconds = BASE_WINDOW_US
+    preprocess_us: Microseconds = 2.0
     ordered: bool = False
     search_offsets: tuple[int, ...] | None = None
-    incident_power_dbm: float = -15.0
+    incident_power_dbm: DbmPower = -15.0
 
     def resolved_offsets(self) -> tuple[int, ...]:
         """Sliding-correlation search range.
@@ -61,11 +62,11 @@ class IdentificationConfig:
         return (0, 1, 2, 3)
 
     @property
-    def l_p(self) -> int:
+    def l_p(self) -> Samples:
         return max(int(round(self.preprocess_us * 1e-6 * self.sample_rate_hz)), 1)
 
     @property
-    def l_m(self) -> int:
+    def l_m(self) -> Samples:
         return max(int(round(self.window_us * 1e-6 * self.sample_rate_hz)), 2)
 
 
@@ -276,7 +277,7 @@ def evaluate_identifier(
     traces: list[tuple[Protocol, Waveform]],
     *,
     rng: np.random.Generator | None = None,
-    incident_power_dbm: float | dict[Protocol, float] | None = None,
+    incident_power_dbm: DbmPower | dict[Protocol, float] | None = None,
 ) -> AccuracyReport:
     """Run the identifier over labeled traces and tabulate accuracy.
 

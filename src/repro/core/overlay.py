@@ -37,6 +37,7 @@ import numpy as np
 from repro.phy import ble, wifi_b, wifi_n, zigbee
 from repro.phy.protocols import Protocol
 from repro.phy.waveform import Waveform
+from repro.types import Symbols
 
 __all__ = [
     "Mode",
@@ -78,8 +79,8 @@ class OverlayConfig:
     """
 
     protocol: Protocol
-    kappa: int
-    gamma: int
+    kappa: Symbols
+    gamma: Symbols
 
     def __post_init__(self) -> None:
         if self.gamma < 1:

@@ -34,7 +34,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.types import FloatArray
+from repro.types import DbmPower, FloatArray, Hertz, Seconds, Volts
 
 from repro.phy.waveform import Waveform
 from repro.rng import fallback_rng
@@ -52,7 +52,7 @@ __all__ = [
 _R_ANTENNA_OHM = 50.0
 
 
-def incident_peak_voltage(power_dbm: float, *, matching_boost: float = 4.0) -> float:
+def incident_peak_voltage(power_dbm: DbmPower, *, matching_boost: float = 4.0) -> Volts:
     """Peak RF voltage at the rectifier input for a given incident power.
 
     ``matching_boost`` models the passive voltage gain of the antenna
@@ -62,7 +62,7 @@ def incident_peak_voltage(power_dbm: float, *, matching_boost: float = 4.0) -> f
     return float(np.sqrt(2.0 * power_w * _R_ANTENNA_OHM) * matching_boost)
 
 
-def recommended_tau(f_carrier_hz: float = 2.4e9, f_baseband_hz: float = 20e6) -> float:
+def recommended_tau(f_carrier_hz: Hertz = 2.4e9, f_baseband_hz: Hertz = 20e6) -> Seconds:
     """Geometric-mean RC constant satisfying 1/f_c << tau << 1/f_b."""
     if f_carrier_hz <= f_baseband_hz:
         raise ValueError("carrier must exceed baseband frequency")
@@ -74,14 +74,14 @@ class RectifierOutput:
     """Baseband voltage trace produced by a rectifier."""
 
     voltage: np.ndarray
-    sample_rate: float
+    sample_rate: Hertz
 
     @property
-    def mean_v(self) -> float:
+    def mean_v(self) -> Volts:
         return float(self.voltage.mean()) if self.voltage.size else 0.0
 
     @property
-    def peak_v(self) -> float:
+    def peak_v(self) -> Volts:
         return float(self.voltage.max()) if self.voltage.size else 0.0
 
 
@@ -130,17 +130,17 @@ class _EnvelopeRectifier:
     """Shared machinery for all three rectifier models."""
 
     #: Effective turn-on voltage subtracted from the input swing.
-    turn_on_v: float
+    turn_on_v: Volts
     #: Input swing multiplier (clamp stage ~= 2, plain diode = 1).
     swing_gain: float
     #: Resistive divider after detection (loading of the tuned R1).
     output_divider: float
     #: Discharge time constant.
-    tau_s: float
+    tau_s: Seconds
     #: FM-to-AM conversion slope (fractional amplitude per MHz).
     fm_am_slope: float
     #: Output-referred noise, volts RMS.
-    noise_v_rms: float
+    noise_v_rms: Volts
 
     def rectify(
         self,
@@ -183,7 +183,7 @@ class _EnvelopeRectifier:
             out = out + rng.normal(scale=self.noise_v_rms, size=out.size)
         return RectifierOutput(voltage=out, sample_rate=wave.sample_rate)
 
-    def output_for_constant_input(self, incident_power_dbm: float, *, matching_boost: float = 4.0) -> float:
+    def output_for_constant_input(self, incident_power_dbm: DbmPower, *, matching_boost: float = 4.0) -> Volts:
         """Steady-state output for an unmodulated carrier (no noise)."""
         v = incident_peak_voltage(incident_power_dbm, matching_boost=matching_boost)
         return max(self.swing_gain * v - self.turn_on_v, 0.0) * self.output_divider

@@ -14,7 +14,10 @@ benchmarks sweep (an affine model in tap count and toggle rate).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
+
+from repro.types import Hertz, Microseconds, Milliwatts, Samples
 
 __all__ = [
     "DFF_PER_MULT_9X9",
@@ -53,15 +56,42 @@ _POWER_PER_LUT_MHZ_QUANT = 3.472e-4
 _POWER_PER_LUT_MHZ_FULL = 8.09e-4
 
 
-def naive_correlator_dffs(template_size: int, n_protocols: int = 4) -> dict[str, int]:
+def _deprecated_size(
+    new: int | None, old: int | None, func: str
+) -> int:
+    """Resolve the deprecated ``template_size=`` keyword alias."""
+    if old is not None:
+        warnings.warn(
+            f"{func}(template_size=...) is deprecated; "
+            "use template_size_samples=...",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        if new is None:
+            new = old
+    if new is None:
+        raise TypeError(f"{func}() missing argument 'template_size_samples'")
+    return new
+
+
+def naive_correlator_dffs(
+    template_size_samples: Samples | None = None,
+    n_protocols: int = 4,
+    *,
+    template_size: int | None = None,  # reproflow: disable=U004
+) -> dict[str, int]:
     """Table 2's naive implementation: full-precision correlation.
 
     Returns the per-protocol and total resource counts.
+    ``template_size=`` is a deprecated alias of ``template_size_samples=``.
     """
-    if template_size < 1 or n_protocols < 1:
-        raise ValueError("template_size and n_protocols must be positive")
-    mults = template_size
-    adds = template_size - 1
+    template_size_samples = _deprecated_size(
+        template_size_samples, template_size, "naive_correlator_dffs"
+    )
+    if template_size_samples < 1 or n_protocols < 1:
+        raise ValueError("template_size_samples and n_protocols must be positive")
+    mults = template_size_samples
+    adds = template_size_samples - 1
     per_protocol = mults * DFF_PER_MULT_9X9 + adds * DFF_PER_ADD_9X9
     return {
         "multipliers": mults * n_protocols,
@@ -71,11 +101,22 @@ def naive_correlator_dffs(template_size: int, n_protocols: int = 4) -> dict[str,
     }
 
 
-def quantized_correlator_dffs(template_size: int, n_protocols: int = 4) -> int:
-    """The nano implementation: +-1 samples, adders only (Table 2)."""
-    if template_size < 1 or n_protocols < 1:
-        raise ValueError("template_size and n_protocols must be positive")
-    return round(_DFF_PER_QUANT_TAP * template_size * n_protocols)
+def quantized_correlator_dffs(
+    template_size_samples: Samples | None = None,
+    n_protocols: int = 4,
+    *,
+    template_size: int | None = None,  # reproflow: disable=U004
+) -> int:
+    """The nano implementation: +-1 samples, adders only (Table 2).
+
+    ``template_size=`` is a deprecated alias of ``template_size_samples=``.
+    """
+    template_size_samples = _deprecated_size(
+        template_size_samples, template_size, "quantized_correlator_dffs"
+    )
+    if template_size_samples < 1 or n_protocols < 1:
+        raise ValueError("template_size_samples and n_protocols must be positive")
+    return round(_DFF_PER_QUANT_TAP * template_size_samples * n_protocols)
 
 
 def identification_luts(total_taps: int, *, quantized: bool) -> int:
@@ -88,8 +129,8 @@ def identification_luts(total_taps: int, *, quantized: bool) -> int:
 
 
 def identification_power_mw(
-    total_taps: int, sample_rate_hz: float, *, quantized: bool
-) -> float:
+    total_taps: int, sample_rate_hz: Hertz, *, quantized: bool
+) -> Milliwatts:
     """Artix-7 dynamic+static power estimate (Table 5 fit)."""
     if sample_rate_hz <= 0:
         raise ValueError("sample_rate_hz must be positive")
@@ -107,8 +148,8 @@ class CorrelatorDesign:
     "what would it cost on the Artix-7?".
     """
 
-    sample_rate_hz: float
-    window_us: float
+    sample_rate_hz: Hertz
+    window_us: Microseconds
     quantized: bool
     n_protocols: int = 4
 

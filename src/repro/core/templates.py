@@ -27,6 +27,7 @@ from repro.core.wavecache import LruCache
 from repro.phy import ble, wifi_b, wifi_n, zigbee
 from repro.phy.protocols import Protocol
 from repro.phy.waveform import Waveform
+from repro.types import Bits, Microseconds, Samples
 
 __all__ = [
     "Template",
@@ -89,16 +90,16 @@ class Template:
     """
 
     protocol: Protocol
-    l_p: int
+    l_p: Samples
     matching: np.ndarray
     matching_q: np.ndarray
 
     @property
-    def l_m(self) -> int:
+    def l_m(self) -> Samples:
         return self.matching.size
 
     @property
-    def storage_bits(self) -> int:
+    def storage_bits(self) -> Bits:
         """On-tag storage for the quantized template (1 bit/sample)."""
         return self.matching_q.size
 
@@ -108,8 +109,8 @@ class TemplateBank:
     """Templates for all four protocols at one ADC configuration."""
 
     adc: Adc
-    window_us: float
-    preprocess_us: float
+    window_us: Microseconds
+    preprocess_us: Microseconds
     templates: dict[Protocol, Template] = field(default_factory=dict)
     #: Stacked-matrix cache for the batched correlator; keyed by the
     #: quantization flag plus the identity of every template so any
@@ -185,13 +186,13 @@ class TemplateBank:
         return value
 
     @property
-    def l_p(self) -> int:
+    def l_p(self) -> Samples:
         return next(iter(self.templates.values())).l_p
 
     @property
     def l_m(self) -> int:
         return next(iter(self.templates.values())).l_m
 
-    def total_storage_bits(self) -> int:
+    def total_storage_bits(self) -> Bits:
         """Template storage on the tag (§2.3 note 2)."""
         return sum(t.storage_bits for t in self.templates.values())

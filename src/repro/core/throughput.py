@@ -23,6 +23,7 @@ import numpy as np
 from repro.channel.link import PROTOCOL_LINK_DEFAULTS, BackscatterLink
 from repro.core.overlay import Mode, OverlayCodec, OverlayConfig
 from repro.phy.protocols import Protocol
+from repro.types import Hertz, Meters
 from repro.sim.traffic import packet_airtime_s
 
 __all__ = [
@@ -69,8 +70,8 @@ class ThroughputPoint:
     """Predicted throughputs at one operating point."""
 
     protocol: Protocol
-    distance_m: float
-    packet_rate: float
+    distance_m: Meters
+    packet_rate: Hertz
     productive_kbps: float
     tag_kbps: float
     per: float
@@ -112,7 +113,7 @@ class OverlayThroughputModel:
     def airtime_s(self) -> float:
         return packet_airtime_s(self.protocol, self.n_payload_bytes)
 
-    def saturated_packet_rate(self) -> float:
+    def saturated_packet_rate(self) -> Hertz:
         """Back-to-back excitation: 1 / (airtime + IFS)."""
         return 1.0 / (self.airtime_s + INTERFRAME_SPACE_S[self.protocol])
 
@@ -122,9 +123,9 @@ class OverlayThroughputModel:
 
     def evaluate(
         self,
-        distance_m: float,
+        distance_m: Meters,
         *,
-        packet_rate: float | None = None,
+        packet_rate: Hertz | None = None,
     ) -> ThroughputPoint:
         """Throughput at ``distance_m``; saturated rate by default."""
         rate = packet_rate if packet_rate is not None else self.saturated_packet_rate()
@@ -145,7 +146,7 @@ class OverlayThroughputModel:
         self,
         distances_m: np.ndarray,
         *,
-        packet_rate: float | None = None,
+        packet_rate: Hertz | None = None,
     ) -> list[ThroughputPoint]:
         """Evaluate across a distance sweep (Fig 13/14 curves)."""
         return [
@@ -154,10 +155,10 @@ class OverlayThroughputModel:
 
     def evaluate_faded(
         self,
-        distance_m: float,
+        distance_m: Meters,
         rng: np.random.Generator,
         *,
-        packet_rate: float | None = None,
+        packet_rate: Hertz | None = None,
         n_samples: int = 200,
         k_factor_db: float = 6.0,
     ) -> ThroughputPoint:

@@ -172,9 +172,14 @@ class ValidationBerParams:
 
 @dataclass(frozen=True)
 class Table2Params:
-    """FPGA resource comparison for identification."""
+    """FPGA resource comparison for identification.
 
-    template_size: int = 120
+    ``template_size_samples`` replaced the unit-ambiguous
+    ``template_size`` field; the registry still accepts the old name as
+    a deprecated override key.
+    """
+
+    template_size_samples: int = 120
 
 
 @dataclass(frozen=True)

@@ -16,20 +16,21 @@ from repro.experiments.common import ExperimentResult
 from repro.experiments.registry import implements
 from repro.phy.protocols import Protocol
 from repro.sim.metrics import format_table
+from repro.types import Samples
 
 __all__ = ["run", "format_result"]
 
 
 @implements("table2_resources")
-def run(*, template_size: int = 120) -> ExperimentResult:
-    naive = naive_correlator_dffs(template_size, n_protocols=4)
-    quantized = quantized_correlator_dffs(template_size, n_protocols=4)
+def run(*, template_size_samples: Samples = 120) -> ExperimentResult:
+    naive = naive_correlator_dffs(template_size_samples, n_protocols=4)
+    quantized = quantized_correlator_dffs(template_size_samples, n_protocols=4)
     return ExperimentResult(
         name="table2_resources",
         data={
-            "template_size": template_size,
-            "per_protocol_multipliers": template_size,
-            "per_protocol_adders": template_size - 1,
+            "template_size_samples": template_size_samples,
+            "per_protocol_multipliers": template_size_samples,
+            "per_protocol_adders": template_size_samples - 1,
             "per_protocol_dffs": naive["dffs_per_protocol"],
             "naive_total_dffs": naive["dffs_total"],
             "nano_impl_dffs": quantized,

@@ -23,6 +23,7 @@ from repro.phy import bits as bitlib
 from repro.phy import pulse
 from repro.phy.protocols import Protocol
 from repro.phy.waveform import Waveform
+from repro.types import Hertz
 
 __all__ = [
     "ADVERTISING_ACCESS_ADDRESS",
@@ -63,15 +64,15 @@ class BleConfig:
     phy: str = "1M"
 
     @property
-    def symbol_rate(self) -> float:
+    def symbol_rate(self) -> Hertz:
         return _PHY_PARAMS[self.phy][0]
 
     @property
-    def freq_deviation_hz(self) -> float:
+    def freq_deviation_hz(self) -> Hertz:
         return _PHY_PARAMS[self.phy][1]
 
     @property
-    def sample_rate(self) -> float:
+    def sample_rate(self) -> Hertz:
         return self.symbol_rate * self.samples_per_symbol
 
     def __post_init__(self) -> None:

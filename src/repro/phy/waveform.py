@@ -8,12 +8,13 @@ type: DSP transforms return new instances.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Any
 
 import numpy as np
 
-from repro.types import ComplexIQ, FloatArray
+from repro.types import ComplexIQ, Decibels, FloatArray, Hertz, Samples, Seconds
 from scipy import signal as sp_signal
 
 __all__ = ["Waveform"]
@@ -40,8 +41,8 @@ class Waveform:
     """
 
     iq: ComplexIQ
-    sample_rate: float
-    center_offset_hz: float = 0.0
+    sample_rate: Hertz
+    center_offset_hz: Hertz = 0.0
     annotations: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -55,13 +56,23 @@ class Waveform:
     # basic properties
     # ------------------------------------------------------------------
     @property
-    def n_samples(self) -> int:
+    def n_samples(self) -> Samples:
         return self.iq.size
 
     @property
-    def duration(self) -> float:
+    def duration_s(self) -> Seconds:
         """Length in seconds."""
         return self.iq.size / self.sample_rate
+
+    @property
+    def duration(self) -> Seconds:
+        """Deprecated alias of :attr:`duration_s`."""
+        warnings.warn(
+            "Waveform.duration is deprecated; use Waveform.duration_s",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.duration_s
 
     def times(self) -> FloatArray:
         """Per-sample timestamps in seconds."""
@@ -84,11 +95,11 @@ class Waveform:
         """Amplitude-scale by ``gain`` (linear)."""
         return replace(self, iq=self.iq * gain, annotations=dict(self.annotations))
 
-    def scaled_db(self, gain_db: float) -> "Waveform":
+    def scaled_db(self, gain_db: Decibels) -> "Waveform":
         """Amplitude-scale by ``gain_db`` (power dB)."""
         return self.scaled(10.0 ** (gain_db / 20.0))
 
-    def frequency_shifted(self, shift_hz: float) -> "Waveform":
+    def frequency_shifted(self, shift_hz: Hertz) -> "Waveform":
         """Mix by ``exp(j 2 pi shift t)`` and track the channel offset."""
         t = self.times()
         iq = self.iq * np.exp(2j * np.pi * shift_hz * t)
@@ -99,29 +110,48 @@ class Waveform:
             annotations=dict(self.annotations),
         )
 
-    def resampled(self, new_rate: float) -> "Waveform":
-        """Polyphase-resample to ``new_rate``."""
-        if new_rate <= 0:
-            raise ValueError("new_rate must be positive")
-        if abs(new_rate - self.sample_rate) < 1e-9:
+    def resampled(
+        self,
+        new_rate_hz: Hertz | None = None,
+        *,
+        new_rate: float | None = None,  # reproflow: disable=U004
+    ) -> "Waveform":
+        """Polyphase-resample to ``new_rate_hz``.
+
+        ``new_rate=`` is a deprecated alias of ``new_rate_hz=``.
+        """
+        if new_rate is not None:
+            warnings.warn(
+                "Waveform.resampled(new_rate=...) is deprecated; "
+                "use new_rate_hz=...",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if new_rate_hz is None:
+                new_rate_hz = new_rate
+        if new_rate_hz is None:
+            raise TypeError("resampled() missing required argument 'new_rate_hz'")
+        if new_rate_hz <= 0:
+            raise ValueError("new_rate_hz must be positive")
+        if abs(new_rate_hz - self.sample_rate) < 1e-9:
             return replace(self, annotations=dict(self.annotations))
         from fractions import Fraction
 
-        frac = Fraction(new_rate / self.sample_rate).limit_denominator(1000)
+        frac = Fraction(new_rate_hz / self.sample_rate).limit_denominator(1000)
         iq = sp_signal.resample_poly(self.iq, frac.numerator, frac.denominator)
-        ratio = new_rate / self.sample_rate
+        ratio = new_rate_hz / self.sample_rate
         ann = dict(self.annotations)
         for key in ("payload_start", "samples_per_symbol"):
             if key in ann:
                 ann[key] = int(round(ann[key] * ratio))
         return Waveform(
             iq=iq,
-            sample_rate=new_rate,
+            sample_rate=new_rate_hz,
             center_offset_hz=self.center_offset_hz,
             annotations=ann,
         )
 
-    def padded(self, before: int = 0, after: int = 0) -> "Waveform":
+    def padded(self, before: Samples = 0, after: Samples = 0) -> "Waveform":
         """Zero-pad with silence; shifts ``payload_start`` accordingly."""
         iq = np.concatenate(
             [np.zeros(before, complex), self.iq, np.zeros(after, complex)]
@@ -131,7 +161,7 @@ class Waveform:
             ann["payload_start"] = ann["payload_start"] + before
         return replace(self, iq=iq, annotations=ann)
 
-    def sliced(self, start: int, stop: int | None = None) -> "Waveform":
+    def sliced(self, start: Samples, stop: Samples | None = None) -> "Waveform":
         """Return samples [start, stop) as a new waveform."""
         return replace(
             self, iq=self.iq[start:stop].copy(), annotations=dict(self.annotations)
@@ -147,7 +177,7 @@ class Waveform:
         return replace(self, iq=self.iq.copy(), annotations=dict(self.annotations))
 
     @staticmethod
-    def silence(n_samples: int, sample_rate: float) -> "Waveform":
+    def silence(n_samples: Samples, sample_rate: Hertz) -> "Waveform":
         """All-zero waveform (idle air)."""
         return Waveform(np.zeros(n_samples, complex), sample_rate)
 

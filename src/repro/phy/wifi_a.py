@@ -21,6 +21,7 @@ from repro.phy.interleaver import deinterleave as legacy_deinterleave
 from repro.phy.interleaver import interleave as legacy_interleave
 from repro.phy.protocols import Protocol
 from repro.phy.waveform import Waveform
+from repro.types import Hertz
 from repro.phy.wifi_n import (
     CP_LEN,
     LEGACY_DATA_CARRIERS,
@@ -93,7 +94,7 @@ class WifiAConfig:
         return self.n_cbps * num // den
 
     @property
-    def sample_rate(self) -> float:
+    def sample_rate(self) -> Hertz:
         return SAMPLE_RATE
 
 

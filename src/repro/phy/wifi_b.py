@@ -28,6 +28,7 @@ from repro.phy import bits as bitlib
 from repro.phy import pulse
 from repro.phy.protocols import Protocol
 from repro.phy.waveform import Waveform
+from repro.types import Hertz
 
 __all__ = [
     "BARKER11",
@@ -111,7 +112,7 @@ class WifiBConfig:
     short_preamble: bool = False
 
     @property
-    def sample_rate(self) -> float:
+    def sample_rate(self) -> Hertz:
         return 11e6 * self.samples_per_chip
 
     @property

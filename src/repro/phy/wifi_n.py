@@ -32,6 +32,7 @@ from repro.phy import bits as bitlib
 from repro.phy import convcode, viterbi
 from repro.phy.protocols import Protocol
 from repro.phy.waveform import Waveform
+from repro.types import Hertz
 
 __all__ = [
     "WifiNConfig",
@@ -154,7 +155,7 @@ class WifiNConfig:
         return self.n_cbps * num // den
 
     @property
-    def sample_rate(self) -> float:
+    def sample_rate(self) -> Hertz:
         return SAMPLE_RATE
 
 
@@ -480,7 +481,7 @@ class WifiNDecodeResult:
     cpe_per_symbol: np.ndarray
 
 
-def estimate_cfo(wave: Waveform) -> float:
+def estimate_cfo(wave: Waveform) -> Hertz:
     """Carrier-frequency-offset estimate from the training fields.
 
     Coarse stage: L-STF 16-sample periodicity (unambiguous to

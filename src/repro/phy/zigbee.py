@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.types import BitArray, ComplexIQ
+from repro.types import BitArray, ComplexIQ, Hertz
 
 from repro.core import contracts
 from repro.phy import bits as bitlib
@@ -84,7 +84,7 @@ class ZigbeeConfig:
     samples_per_chip: int = 4
 
     @property
-    def sample_rate(self) -> float:
+    def sample_rate(self) -> Hertz:
         return CHIP_RATE * self.samples_per_chip
 
     def __post_init__(self) -> None:
@@ -230,7 +230,7 @@ def _chip_matched_outputs(wave: Waveform, n_chips: int) -> ComplexIQ:
     return out
 
 
-def estimate_cfo(wave: Waveform) -> float:
+def estimate_cfo(wave: Waveform) -> Hertz:
     """CFO estimate from the SHR preamble's repeating zero symbols.
 
     Consecutive preamble symbols are identical 16 us waveforms, so the

@@ -18,6 +18,11 @@ signatures (and checkable by mypy + reprolint R003):
 ``numpy.typing.NDArray`` is parameterized by *scalar* type only, so
 1-D-ness is asserted by the runtime contracts rather than the static
 aliases.
+
+Scalar quantities carry physical units instead of dtypes; the
+``Annotated`` unit vocabulary for those (``Hertz``, ``Seconds``,
+``Samples``, ``Decibels``, ...) lives in :mod:`repro.types.units` and
+is checked by the :mod:`tools.reproflow` dataflow analyzer.
 """
 
 from __future__ import annotations
@@ -27,12 +32,48 @@ from typing import TypeAlias
 import numpy as np
 import numpy.typing as npt
 
+from repro.types.units import (
+    Bits,
+    Bytes,
+    Chips,
+    DbmPower,
+    Decibels,
+    Hertz,
+    Meters,
+    Microseconds,
+    Milliwatts,
+    Ratio,
+    Samples,
+    Seconds,
+    Symbols,
+    Unit,
+    Volts,
+    Watts,
+)
+
 __all__ = [
     "ComplexIQ",
     "FloatArray",
     "BitArray",
     "ChipArray",
     "IntArray",
+    # unit vocabulary (repro.types.units)
+    "Unit",
+    "Hertz",
+    "Seconds",
+    "Microseconds",
+    "Samples",
+    "Chips",
+    "Symbols",
+    "Bits",
+    "Bytes",
+    "Decibels",
+    "DbmPower",
+    "Milliwatts",
+    "Watts",
+    "Volts",
+    "Meters",
+    "Ratio",
 ]
 
 ComplexIQ: TypeAlias = npt.NDArray[np.complex128]

@@ -16,7 +16,7 @@ class TestWaveform:
         return Waveform(iq, rate, annotations={"payload_start": 10})
 
     def test_duration(self):
-        assert self._make(100, 1e6).duration == pytest.approx(100e-6)
+        assert self._make(100, 1e6).duration_s == pytest.approx(100e-6)
 
     def test_rejects_bad_shape(self):
         with pytest.raises(ValueError):

@@ -91,7 +91,7 @@ class TestBle2M:
         payload = b"\xaa" * 20
         one = ble.modulate(payload, ble.BleConfig(phy="1M"))
         two = ble.modulate(payload, ble.BleConfig(phy="2M"))
-        assert two.duration < 0.6 * one.duration
+        assert two.duration_s < 0.6 * one.duration_s
 
     def test_rejects_unknown_phy(self):
         from repro.phy import ble

@@ -1,0 +1,155 @@
+"""reproflow — cross-module units-and-purity dataflow analyzer.
+
+Companion to :mod:`tools.reprolint`.  Where reprolint checks local,
+single-file determinism/dtype idioms (R-series), reproflow builds a
+whole-program view of ``src/repro``: a call graph annotated with
+physical units (from :mod:`repro.types.units` annotations and naming
+conventions), a unit dataflow pass (U-series), and a purity /
+fork-safety pass over everything reachable from worker entry points
+(F-series), plus a tracked-bytecode repo guard (B001).
+
+Public entry point: :func:`analyze_paths`.  The CLI lives in
+``tools/reproflow/__main__.py`` (``python -m tools.reproflow``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from tools.reproflow.bytecode import check_tracked_bytecode
+from tools.reproflow.model import (
+    RULES,
+    Baseline,
+    Finding,
+    is_suppressed,
+    suppressions,
+)
+from tools.reproflow.project import ProjectIndex
+from tools.reproflow.purity import check_purity
+from tools.reproflow.unitcheck import check_ambiguous_params, check_units
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "Baseline",
+    "AnalysisResult",
+    "analyze_paths",
+    "build_report",
+]
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one run produced: findings plus the annotated graph."""
+
+    findings: list[Finding] = field(default_factory=list)
+    #: findings matched by ``--baseline`` (reported but non-fatal)
+    baselined: list[Finding] = field(default_factory=list)
+    index: ProjectIndex | None = None
+    roots: set[str] = field(default_factory=set)
+    reachable: set[str] = field(default_factory=set)
+    #: (path, line, message) parse failures
+    errors: list[tuple[str, int, str]] = field(default_factory=list)
+
+
+def _selected(code: str, select: tuple[str, ...] | None) -> bool:
+    if not select:
+        return True
+    return any(code.startswith(prefix) for prefix in select)
+
+
+def analyze_paths(
+    paths: list[str],
+    *,
+    select: tuple[str, ...] | None = None,
+    strict_unit_dirs: tuple[str, ...] | None = None,
+    baseline: Baseline | None = None,
+    check_bytecode: bool = True,
+    repo_root: str = ".",
+) -> AnalysisResult:
+    """Analyze ``paths`` and return findings + the annotated index.
+
+    Pragma suppressions and ``select`` filtering are applied here;
+    ``baseline`` (if given) partitions surviving findings into new vs.
+    acknowledged.
+    """
+    index = ProjectIndex.build(paths)
+    findings = check_units(index)
+    findings.extend(check_ambiguous_params(index, strict_unit_dirs))
+    purity_findings, roots, reachable = check_purity(index)
+    findings.extend(purity_findings)
+    if check_bytecode:
+        findings.extend(check_tracked_bytecode(repo_root))
+
+    # pragma suppression, by source file
+    pragma_cache: dict[str, tuple[dict[int, set[str]], set[str]]] = {}
+    kept: list[Finding] = []
+    for f in findings:
+        if not _selected(f.code, select):
+            continue
+        if f.path not in pragma_cache:
+            source = ""
+            for mod in index.modules.values():
+                if mod.path == f.path:
+                    source = mod.source
+                    break
+            pragma_cache[f.path] = suppressions(source)
+        per_line, per_file = pragma_cache[f.path]
+        if not is_suppressed(f, per_line, per_file):
+            kept.append(f)
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+
+    result = AnalysisResult(
+        index=index,
+        roots=roots,
+        reachable=reachable,
+        errors=list(index.errors),
+    )
+    if baseline is not None:
+        result.findings, result.baselined = baseline.split(kept)
+    else:
+        result.findings = kept
+    return result
+
+
+def build_report(result: AnalysisResult) -> dict[str, object]:
+    """Machine-readable report: findings + the annotated call graph."""
+    graph: dict[str, object] = {}
+    index = result.index
+    if index is not None:
+        for fq in sorted(index.functions):
+            fn = index.functions[fq]
+            graph[fq] = {
+                "path": fn.path.replace("\\", "/"),
+                "line": fn.node.lineno,
+                "params": {
+                    name: (unit.symbol if unit is not None else None)
+                    for name, unit in fn.param_units.items()
+                },
+                "return_unit": (
+                    fn.return_unit.symbol if fn.return_unit is not None else None
+                ),
+                "calls": sorted(set(fn.calls)),
+                "spawns": sorted(set(fn.spawn_targets)),
+                "worker_root": fq in result.roots,
+                "worker_reachable": fq in result.reachable,
+            }
+    by_code: dict[str, int] = {}
+    for f in result.findings:
+        by_code[f.code] = by_code.get(f.code, 0) + 1
+    return {
+        "tool": "reproflow",
+        "rules": RULES,
+        "findings": [f.to_json() for f in result.findings],
+        "baselined": [f.to_json() for f in result.baselined],
+        "call_graph": graph,
+        "worker_roots": sorted(result.roots),
+        "summary": {
+            "findings": len(result.findings),
+            "baselined": len(result.baselined),
+            "by_code": dict(sorted(by_code.items())),
+            "functions": len(graph),
+            "worker_reachable": len(result.reachable),
+            "parse_errors": len(result.errors),
+        },
+    }

@@ -1,0 +1,47 @@
+"""B001: compiled bytecode tracked by git.
+
+Committed ``.pyc`` files are both noise and a reproducibility hazard
+(stale bytecode can shadow edited sources on some import paths), so CI
+fails if any reappear.  Silently returns no findings when git is
+unavailable or the directory is not a work tree — the rule guards the
+repository, not arbitrary file sets.
+"""
+
+from __future__ import annotations
+
+import subprocess
+
+from tools.reproflow.model import Finding
+
+__all__ = ["check_tracked_bytecode"]
+
+_PATTERNS = ("*.pyc", "*.pyo", "*$py.class", "__pycache__")
+
+
+def check_tracked_bytecode(repo_root: str = ".") -> list[Finding]:
+    try:
+        proc = subprocess.run(
+            ["git", "ls-files", "-z", "--", *_PATTERNS],
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            timeout=30,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return []
+    if proc.returncode != 0:
+        return []
+    findings = []
+    for path in sorted(p for p in proc.stdout.split("\0") if p):
+        findings.append(
+            Finding(
+                path=path,
+                line=1,
+                col=1,
+                code="B001",
+                message="compiled bytecode is tracked by git; "
+                "`git rm --cached` it and rely on .gitignore",
+            )
+        )
+    return findings

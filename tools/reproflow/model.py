@@ -1,0 +1,165 @@
+"""Finding model, rule catalog, pragma suppression, and baselines.
+
+reproflow mirrors reprolint's ergonomics (stable rule codes, per-line
+``# reproflow: disable=U001`` pragmas, ``--select``) and adds the
+baseline workflow: a JSON file of *fingerprints* for findings that are
+acknowledged but not yet fixed.  Fingerprints hash the file, rule,
+enclosing symbol, and message — not the line number — so unrelated
+edits to a file do not invalidate the baseline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "Baseline",
+    "suppressions",
+    "is_suppressed",
+]
+
+#: code -> one-line description (shown by ``--list-rules``; the full
+#: catalog with rationale lives in docs/STATIC_ANALYSIS.md).
+RULES: dict[str, str] = {
+    "U001": "arithmetic/comparison/assignment mixes incompatible physical units",
+    "U002": "log-domain (dB/dBm) quantity mixed with a linear power or voltage",
+    "U003": "call argument unit does not match the callee parameter's unit",
+    "U004": "unit-ambiguous public parameter; add a unit suffix or units annotation",
+    "F001": "worker-reachable function mutates a module-level global",
+    "F002": "worker-reachable function writes wavecache state outside its locked API",
+    "B001": "compiled bytecode tracked by git; remove and gitignore it",
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule hit: location, code, message, enclosing symbol."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    #: dotted module + qualname of the enclosing function ("" at module
+    #: scope); part of the baseline fingerprint.
+    symbol: str = ""
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def fingerprint(self) -> str:
+        """Line-number-independent identity used by baseline files."""
+        norm_path = self.path.replace("\\", "/")
+        raw = f"{norm_path}::{self.code}::{self.symbol}::{self.message}"
+        return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "path": self.path.replace("\\", "/"),
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "symbol": self.symbol,
+            "fingerprint": self.fingerprint(),
+        }
+
+
+# ----------------------------------------------------------------------
+# pragma suppression (same grammar as reprolint, different prefix)
+# ----------------------------------------------------------------------
+def suppressions(source: str) -> tuple[dict[int, set[str]], set[str]]:
+    """Per-line and file-level ``# reproflow: disable`` pragmas.
+
+    ``# reproflow: disable=U001,F001`` suppresses on that line;
+    ``# reproflow: disable-file=U003`` within the first ten lines
+    suppresses for the whole file; ``disable=all`` matches every code.
+    """
+    per_line: dict[int, set[str]] = {}
+    per_file: set[str] = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if "# reproflow:" not in line:
+            continue
+        _, _, tail = line.partition("# reproflow:")
+        for clause in tail.strip().split():
+            if clause.startswith("disable-file="):
+                if lineno <= 10:
+                    codes = clause.removeprefix("disable-file=")
+                    per_file.update(c.strip() for c in codes.split(",") if c.strip())
+            elif clause.startswith("disable="):
+                codes = clause.removeprefix("disable=")
+                per_line.setdefault(lineno, set()).update(
+                    c.strip() for c in codes.split(",") if c.strip()
+                )
+    return per_line, per_file
+
+
+def is_suppressed(
+    finding: Finding, per_line: dict[int, set[str]], per_file: set[str]
+) -> bool:
+    for codes in (per_file, per_line.get(finding.line, set())):
+        if "all" in codes or finding.code in codes:
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# baseline files
+# ----------------------------------------------------------------------
+@dataclass
+class Baseline:
+    """Acknowledged findings, keyed by fingerprint.
+
+    The value stored per fingerprint is a short human-readable locator
+    (``path:code:symbol``) so reviewers can audit the file without
+    recomputing hashes.
+    """
+
+    fingerprints: dict[str, str] = field(default_factory=dict)
+
+    VERSION = 1
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        if not isinstance(doc, dict) or doc.get("version") != cls.VERSION:
+            raise ValueError(
+                f"{path}: not a reproflow baseline (want version={cls.VERSION})"
+            )
+        fps = doc.get("fingerprints", {})
+        if not isinstance(fps, dict):
+            raise ValueError(f"{path}: 'fingerprints' must be an object")
+        return cls(fingerprints={str(k): str(v) for k, v in fps.items()})
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        fps = {
+            f.fingerprint(): f"{f.path.replace(chr(92), '/')}:{f.code}:{f.symbol}"
+            for f in findings
+        }
+        return cls(fingerprints=fps)
+
+    def write(self, path: str) -> None:
+        doc = {
+            "version": self.VERSION,
+            "fingerprints": dict(sorted(self.fingerprints.items())),
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    def split(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding]]:
+        """Partition into (new, baselined) findings."""
+        new: list[Finding] = []
+        old: list[Finding] = []
+        for f in findings:
+            (old if f.fingerprint() in self.fingerprints else new).append(f)
+        return new, old
