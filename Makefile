@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast smoke bench bench-primitives bench-tables perf-report examples lint typecheck check clean
+.PHONY: install test test-fast smoke crash-test bench bench-primitives bench-tables perf-report examples lint typecheck check clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -36,6 +36,16 @@ check: lint typecheck test-fast
 smoke:
 	REPRO_WORKERS=2 $(PYTHON) -m repro run-all --preset quick --out runs/smoke
 	$(PYTHON) tools/check_artifacts.py runs/smoke --expect-all
+
+# Crash a run mid-save with the fault-injection harness, resume it,
+# and require byte-identity with an undisturbed run
+# (docs/ROBUSTNESS.md; this is the CI crash/resume guard).
+crash-test:
+	$(PYTHON) -m repro run-all --preset quick --out runs/fresh
+	REPRO_FAULTS="kill:site=save,name=fig15_occlusion" \
+		$(PYTHON) -m repro run-all --preset quick --out runs/crashy || true
+	$(PYTHON) -m repro run-all --resume runs/crashy
+	diff -r runs/fresh runs/crashy
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

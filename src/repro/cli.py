@@ -9,7 +9,12 @@ Gives the repository an adoption-grade front door:
   ``--out``) write a versioned JSON artifact
 * ``python -m repro run-all --preset quick --workers 4 --out runs/x``
   -- run every experiment, fanning out across processes, with a
-  per-experiment pass/fail summary
+  per-experiment pass/fail summary and a crash-safe ``manifest.json``
+  ledger in the run directory
+* ``python -m repro run-all --resume runs/x`` -- finish an interrupted
+  or partially failed campaign: re-runs only the experiments whose
+  artifacts are missing, failed, or corrupt, producing a directory
+  byte-identical to an uninterrupted run (docs/ROBUSTNESS.md)
 * ``python -m repro show runs/x/fig13_los.json`` -- re-render a saved
   artifact exactly as the live run printed it
 * ``python -m repro info``                  -- library and calibration
@@ -21,6 +26,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from pathlib import Path
 
 __all__ = ["main"]
 
@@ -108,8 +114,9 @@ def _cmd_info() -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.experiments import registry
 
+    preset = args.preset or "full"
     try:
-        print(_run_one(args.experiment, args.preset, args.seed, args.out))
+        print(_run_one(args.experiment, preset, args.seed, args.out))
     except registry.UnknownExperimentError as exc:
         print(f"{exc.args[0]}; see 'python -m repro list'", file=sys.stderr)
         return 2
@@ -121,32 +128,128 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_run_all(args: argparse.Namespace) -> int:
     from repro.experiments import registry
+    from repro.experiments.manifest import ManifestError, RunManifest
     from repro.sim.runner import resolve_workers
 
-    names = registry.names()
-    workers = min(resolve_workers(args.workers), len(names))
-    jobs = [(name, args.preset, args.seed, args.out) for name in names]
-    if workers <= 1:
-        outcomes = [_run_all_serial(*job) for job in jobs]
+    manifest: RunManifest | None = None
+    skipped: tuple[str, ...] = ()
+    if args.resume is not None:
+        if args.out is not None:
+            print(
+                "--resume and --out are mutually exclusive (resume reuses "
+                "the run directory it is given)",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            manifest = RunManifest.load(args.resume)
+        except ManifestError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        if args.preset is not None and args.preset != manifest.preset:
+            print(
+                f"--preset {args.preset!r} conflicts with the manifest's "
+                f"preset {manifest.preset!r}; omit --preset when resuming",
+                file=sys.stderr,
+            )
+            return 2
+        if args.seed is not None and args.seed != manifest.seed:
+            print(
+                f"--seed {args.seed} conflicts with the manifest's seed "
+                f"{manifest.seed}; omit --seed when resuming",
+                file=sys.stderr,
+            )
+            return 2
+        if set(manifest.names()) != set(registry.names()):
+            print(
+                f"manifest in {args.resume} does not match this build's "
+                f"experiment catalog; re-run from scratch with --out",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.core.atomicio import TMP_SUFFIX
+
+        leftovers = sorted(Path(args.resume).glob(f"*{TMP_SUFFIX}"))
+        for tmp in leftovers:
+            tmp.unlink()
+        if leftovers:
+            print(
+                f"resume: removed {len(leftovers)} leftover temporary "
+                "file(s) from an interrupted save"
+            )
+        preset = manifest.preset
+        seed = manifest.seed
+        out_dir = args.resume
+        names = manifest.pending()
+        skipped = manifest.completed()
+        if skipped:
+            print(
+                f"resume: {len(skipped)} of {len(manifest.names())} "
+                f"experiment(s) already complete, re-running {len(names)}"
+            )
+        if not names:
+            print("resume: nothing to do; every artifact is complete and intact")
+            return 0
     else:
-        from concurrent.futures import ProcessPoolExecutor
+        preset = args.preset or "full"
+        seed = args.seed
+        out_dir = args.out
+        names = registry.names()
+        if out_dir is not None:
+            manifest = RunManifest.create(
+                out_dir, preset=preset, seed=seed, names=names
+            )
+
+    outcomes_by_name: dict[str, tuple[bool, str]] = {}
+
+    def record(name: str, ok: bool, text: str) -> None:
+        """Fold in one outcome, updating the crash-safe ledger."""
+        outcomes_by_name[name] = (ok, text)
+        if manifest is not None:
+            if ok:
+                manifest.mark_done(name, Path(out_dir) / f"{name}.json")
+            else:
+                manifest.mark_failed(name, text)
+
+    jobs = [(name, preset, seed, out_dir) for name in names]
+    workers = min(resolve_workers(args.workers), len(jobs))
+    if workers <= 1:
+        for job in jobs:
+            record(*_run_all_serial(*job))
+    else:
+        from concurrent.futures import ProcessPoolExecutor, as_completed
 
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_run_all_worker, *job) for job in jobs]
-            outcomes = [f.result() for f in futures]
+            futures = {pool.submit(_run_all_worker, *job): job[0] for job in jobs}
+            for future in as_completed(futures):
+                name = futures[future]
+                try:
+                    record(*future.result())
+                except Exception as exc:  # noqa: BLE001 -- a dead worker is an outcome
+                    record(
+                        name, False, f"worker crashed: {type(exc).__name__}: {exc}"
+                    )
 
-    for name, ok, text in outcomes:
+    for name in names:
+        ok, text = outcomes_by_name[name]
         if ok:
             print(text)
         else:
             print(f"==== {name} ====\nFAILED: {text}")
         print()
-    failures = [name for name, ok, _ in outcomes if not ok]
-    print(f"ran {len(outcomes)} experiments, preset {args.preset!r}:")
-    for name, ok, _ in outcomes:
-        print(f"  {'PASS' if ok else 'FAIL'}  {name}")
+    failures = [name for name in names if not outcomes_by_name[name][0]]
+    print(f"ran {len(names)} experiments, preset {preset!r}:")
+    for name in names:
+        print(f"  {'PASS' if outcomes_by_name[name][0] else 'FAIL'}  {name}")
+    if skipped:
+        print(f"  (and {len(skipped)} already complete, skipped)")
     if failures:
         print(f"{len(failures)} failed: {', '.join(failures)}", file=sys.stderr)
+        if manifest is not None:
+            print(
+                f"resume with: python -m repro run-all --resume {out_dir}",
+                file=sys.stderr,
+            )
         return 1
     return 0
 
@@ -181,8 +284,9 @@ def main(argv: list[str] | None = None) -> int:
         p.add_argument(
             "--preset",
             choices=_PRESETS,
-            default="full",
-            help="parameter preset (default: full)",
+            default=None,
+            help="parameter preset (default: full; with --resume, the "
+            "manifest's preset)",
         )
         p.add_argument(
             "--seed",
@@ -205,13 +309,28 @@ def main(argv: list[str] | None = None) -> int:
             help="worker processes (default: REPRO_WORKERS or 1); "
             "results are bit-identical for any worker count",
         )
+    run_all_p.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help="finish an interrupted run: re-run only experiments whose "
+        "artifacts in DIR are missing, failed, or corrupt "
+        "(DIR must hold a manifest.json from 'run-all --out')",
+    )
     show_p = sub.add_parser("show", help="re-render a saved artifact")
     show_p.add_argument("artifact", help="path to an artifact .json")
 
     args = parser.parse_args(argv)
     if getattr(args, "workers", None) is not None:
+        from repro.sim.runner import validate_bounds
+
+        try:
+            validate_bounds(n_workers=args.workers, where="--workers")
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
         # Publish through the shared knob so every module sees it.
-        os.environ["REPRO_WORKERS"] = str(max(args.workers, 1))
+        os.environ["REPRO_WORKERS"] = str(args.workers)
     if args.command == "list":
         return _cmd_list()
     if args.command == "info":

@@ -33,6 +33,8 @@ from typing import Any
 
 import numpy as np
 
+from repro.core.atomicio import atomic_write_text
+
 __all__ = [
     "ARTIFACT_TAG",
     "SCHEMA_VERSION",
@@ -314,11 +316,15 @@ class ExperimentResult:
         )
 
     def save(self, path: str | Path) -> Path:
-        """Write the artifact to ``path`` (parents created)."""
-        out = Path(path)
-        out.parent.mkdir(parents=True, exist_ok=True)
-        out.write_text(self.to_json() + "\n")
-        return out
+        """Write the artifact to ``path`` atomically (parents created).
+
+        Goes through :func:`repro.core.atomicio.atomic_write_text`
+        (tempfile in the destination directory + ``os.replace``), so a
+        crash mid-save -- even ``SIGKILL`` -- can never leave a
+        truncated artifact at ``path``; set ``REPRO_FSYNC=1`` to also
+        fsync for full crash-consistency.
+        """
+        return atomic_write_text(path, self.to_json() + "\n")
 
     def save_in(self, out_dir: str | Path) -> Path:
         """Write to ``out_dir/<name>.json`` (the run-directory layout)."""
@@ -326,4 +332,15 @@ class ExperimentResult:
 
     @classmethod
     def load(cls, path: str | Path) -> "ExperimentResult":
-        return cls.from_json(Path(path).read_text())
+        """Load from disk; malformed content names the offending path.
+
+        A truncated or otherwise invalid file raises
+        :class:`ArtifactError` carrying ``path`` (never a bare
+        ``JSONDecodeError``), so a batch loader can report which
+        artifact is damaged.  ``FileNotFoundError`` passes through.
+        """
+        source = Path(path)
+        try:
+            return cls.from_json(source.read_text())
+        except ArtifactError as exc:
+            raise ArtifactError(f"artifact {source}: {exc}") from exc

@@ -1,0 +1,251 @@
+"""Versioned run manifests: the resume ledger for ``run-all``.
+
+A long ``run-all`` campaign that dies at experiment 14 of 17 should
+cost 3 experiments to finish, not 17.  The manifest makes run
+directories self-describing: ``run-all --out DIR`` writes
+``DIR/manifest.json`` up front and updates it (atomically, via
+:mod:`repro.core.atomicio`) as each experiment completes, so at any
+kill point the directory records exactly which artifacts are complete,
+with which preset and seed, and what each one's bytes hash to.
+``run-all --resume DIR`` then re-runs only the experiments that are
+missing, failed, or whose artifact on disk no longer matches its
+recorded hash -- and because every experiment is deterministic given
+(preset, seed), the completed directory is byte-identical to one from
+an uninterrupted run.
+
+Schema (``schema_version`` 1)::
+
+    {
+      "manifest": "repro.run-manifest",
+      "schema_version": 1,
+      "preset": "quick",
+      "seed": null,
+      "experiments": {
+        "fig04_rectifier": {"status": "done",
+                             "artifact": "fig04_rectifier.json",
+                             "sha256": "..."},
+        "fig05_envelope_id": {"status": "failed", "error": "..."},
+        "fig07_ordered":     {"status": "pending"}
+      }
+    }
+
+Experiment order is registry (paper) order and statuses are the only
+mutable state, so a resumed-to-completion manifest is byte-identical
+to a fresh one -- the CI crash/resume guard diffs the whole directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.core.atomicio import atomic_write_text
+
+__all__ = [
+    "MANIFEST_FILENAME",
+    "MANIFEST_TAG",
+    "MANIFEST_SCHEMA_VERSION",
+    "ManifestEntry",
+    "ManifestError",
+    "RunManifest",
+]
+
+#: Identifies the manifest format; bumped with MANIFEST_SCHEMA_VERSION.
+MANIFEST_TAG = "repro.run-manifest"
+
+#: Version of the on-disk manifest schema this build writes and reads.
+MANIFEST_SCHEMA_VERSION = 1
+
+#: File name inside the run directory.
+MANIFEST_FILENAME = "manifest.json"
+
+_STATUSES = ("pending", "done", "failed")
+
+
+class ManifestError(ValueError):
+    """Raised for missing, malformed, or inconsistent manifests."""
+
+
+def _sha256_file(path: Path) -> str:
+    digest = hashlib.sha256()
+    with path.open("rb") as fh:
+        for block in iter(lambda: fh.read(65536), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+@dataclass
+class ManifestEntry:
+    """Per-experiment ledger line."""
+
+    status: str = "pending"
+    artifact: str | None = None
+    sha256: str | None = None
+    error: str | None = None
+
+    def to_doc(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {"status": self.status}
+        if self.artifact is not None:
+            doc["artifact"] = self.artifact
+        if self.sha256 is not None:
+            doc["sha256"] = self.sha256
+        if self.error is not None:
+            doc["error"] = self.error
+        return doc
+
+    @classmethod
+    def from_doc(cls, name: str, doc: Any) -> "ManifestEntry":
+        if not isinstance(doc, dict):
+            raise ManifestError(f"manifest entry for {name!r} is not an object")
+        status = doc.get("status")
+        if status not in _STATUSES:
+            raise ManifestError(
+                f"manifest entry for {name!r} has status {status!r}; "
+                f"expected one of {_STATUSES}"
+            )
+        return cls(
+            status=status,
+            artifact=doc.get("artifact"),
+            sha256=doc.get("sha256"),
+            error=doc.get("error"),
+        )
+
+
+@dataclass
+class RunManifest:
+    """The ``manifest.json`` of one run directory."""
+
+    out_dir: Path
+    preset: str
+    seed: int | None
+    entries: dict[str, ManifestEntry] = field(default_factory=dict)
+
+    @property
+    def path(self) -> Path:
+        return self.out_dir / MANIFEST_FILENAME
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        out_dir: str | Path,
+        *,
+        preset: str,
+        seed: int | None,
+        names: Iterable[str],
+    ) -> "RunManifest":
+        """Start a fresh ledger (all experiments pending) and write it."""
+        manifest = cls(
+            out_dir=Path(out_dir),
+            preset=preset,
+            seed=seed,
+            entries={name: ManifestEntry() for name in names},
+        )
+        manifest.save()
+        return manifest
+
+    @classmethod
+    def load(cls, out_dir: str | Path) -> "RunManifest":
+        """Read the ledger of ``out_dir``; :class:`ManifestError` if unusable."""
+        path = Path(out_dir) / MANIFEST_FILENAME
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            raise ManifestError(
+                f"no manifest at {path}; only directories written by "
+                f"'run-all --out' can be resumed"
+            ) from None
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ManifestError(f"manifest {path} is not valid JSON: {exc}") from exc
+        if not isinstance(doc, dict) or doc.get("manifest") != MANIFEST_TAG:
+            raise ManifestError(f"{path} is not a {MANIFEST_TAG} manifest")
+        version = doc.get("schema_version")
+        if version != MANIFEST_SCHEMA_VERSION:
+            raise ManifestError(
+                f"manifest schema_version {version!r} is not supported by "
+                f"this build (expected {MANIFEST_SCHEMA_VERSION})"
+            )
+        preset = doc.get("preset")
+        if not isinstance(preset, str):
+            raise ManifestError(f"manifest {path} has no preset stamp")
+        seed = doc.get("seed")
+        if seed is not None and not isinstance(seed, int):
+            raise ManifestError(f"manifest {path} has a non-integer seed {seed!r}")
+        experiments = doc.get("experiments")
+        if not isinstance(experiments, dict):
+            raise ManifestError(f"manifest {path} has no experiments table")
+        entries = {
+            name: ManifestEntry.from_doc(name, entry)
+            for name, entry in experiments.items()
+        }
+        return cls(out_dir=Path(out_dir), preset=preset, seed=seed, entries=entries)
+
+    # -- serialization --------------------------------------------------
+    def to_json(self) -> str:
+        doc = {
+            "manifest": MANIFEST_TAG,
+            "schema_version": MANIFEST_SCHEMA_VERSION,
+            "preset": self.preset,
+            "seed": self.seed,
+            "experiments": {
+                name: entry.to_doc() for name, entry in self.entries.items()
+            },
+        }
+        return json.dumps(doc, indent=2) + "\n"
+
+    def save(self) -> Path:
+        """Atomically rewrite the manifest (crash-safe at every update)."""
+        return atomic_write_text(self.path, self.to_json())
+
+    # -- updates --------------------------------------------------------
+    def _entry(self, name: str) -> ManifestEntry:
+        try:
+            return self.entries[name]
+        except KeyError:
+            raise ManifestError(
+                f"experiment {name!r} is not in the manifest for {self.out_dir}"
+            ) from None
+
+    def mark_done(self, name: str, artifact_path: str | Path) -> None:
+        """Record a completed experiment and the hash of its artifact."""
+        entry = self._entry(name)
+        artifact = Path(artifact_path)
+        entry.status = "done"
+        entry.artifact = artifact.name
+        entry.sha256 = _sha256_file(artifact)
+        entry.error = None
+        self.save()
+
+    def mark_failed(self, name: str, error: str) -> None:
+        entry = self._entry(name)
+        entry.status = "failed"
+        entry.artifact = None
+        entry.sha256 = None
+        entry.error = error
+        self.save()
+
+    # -- queries --------------------------------------------------------
+    def names(self) -> tuple[str, ...]:
+        return tuple(self.entries)
+
+    def artifact_ok(self, name: str) -> bool:
+        """Is ``name`` done with an on-disk artifact matching its hash?"""
+        entry = self._entry(name)
+        if entry.status != "done" or not entry.artifact or not entry.sha256:
+            return False
+        path = self.out_dir / entry.artifact
+        if not path.is_file():
+            return False
+        return _sha256_file(path) == entry.sha256
+
+    def pending(self) -> tuple[str, ...]:
+        """Experiments still owed: not done, or artifact missing/corrupt."""
+        return tuple(name for name in self.entries if not self.artifact_ok(name))
+
+    def completed(self) -> tuple[str, ...]:
+        return tuple(name for name in self.entries if self.artifact_ok(name))

@@ -9,6 +9,15 @@ Set ``REPRO_PERF=1`` to print a report at interpreter exit -- per-name
 call counts and cumulative/mean wall time, plus the waveform/template
 cache counters from :mod:`repro.core.wavecache`.  :func:`report`
 renders the same table on demand.
+
+Robustness events from the fault-tolerant Monte-Carlo runner
+(:mod:`repro.sim.runner`) land in the counters section under the
+``mc.`` prefix -- ``mc.chunk_retries`` (chunks re-run after a
+failure), ``mc.chunk_timeouts`` (chunks abandoned at the wall-clock
+deadline), ``mc.worker_crashes`` (pool workers that died mid-chunk) --
+so a ``REPRO_PERF=1`` run shows at a glance whether its results
+needed any recovery.  All three are counted in the parent process;
+workers never mutate shared perf state.
 """
 
 from __future__ import annotations

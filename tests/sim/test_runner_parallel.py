@@ -23,12 +23,23 @@ class TestResolveWorkers:
         monkeypatch.setenv("REPRO_WORKERS", "5")
         assert resolve_workers() == 5
 
-    def test_default_and_floor(self, monkeypatch):
+    def test_default(self, monkeypatch):
         monkeypatch.delenv("REPRO_WORKERS", raising=False)
         assert resolve_workers() == 1
-        assert resolve_workers(0) == 1
-        monkeypatch.setenv("REPRO_WORKERS", "junk")
-        assert resolve_workers() == 1
+
+    def test_explicit_invalid_raises(self):
+        # 0/-3 used to be silently clamped to 1; misconfiguration now
+        # goes through validate_bounds and fails loudly.
+        with pytest.raises(ValueError, match="n_workers"):
+            resolve_workers(0)
+        with pytest.raises(ValueError, match="n_workers"):
+            resolve_workers(-3)
+
+    @pytest.mark.parametrize("raw", ["junk", "-3", "0", "2.5"])
+    def test_env_invalid_warns_and_falls_back(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_WORKERS", raw)
+        with pytest.warns(RuntimeWarning, match="REPRO_WORKERS"):
+            assert resolve_workers() == 1
 
 
 class TestParallelDeterminism:

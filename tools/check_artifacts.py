@@ -1,13 +1,20 @@
 #!/usr/bin/env python
 """Validate a run directory of experiment artifacts.
 
-Loads every ``*.json`` under the given directory as a versioned
-:class:`repro.experiments.artifacts.ExperimentResult`, checks its
-schema (tag, version, provenance stamps), verifies it re-renders, and
-confirms a byte-stable re-serialization.  With ``--expect-all`` the
-directory must contain one artifact per registry-declared experiment
--- the CI smoke job runs ``run-all --preset quick --out DIR`` and then
-gates on this.
+Loads every artifact ``*.json`` under the given directory as a
+versioned :class:`repro.experiments.artifacts.ExperimentResult`,
+checks its schema (tag, version, provenance stamps), verifies it
+re-renders, and confirms a byte-stable re-serialization.  Also audits
+the directory's crash hygiene: leftover ``*.tmp`` files from the
+atomic-write path are flagged (they indicate an interrupted save --
+harmless, but worth knowing about), and a ``manifest.json``
+(``repro.experiments.manifest``), when present, must parse, cover
+exactly the artifacts on disk it claims, and hash-match every
+artifact it marks done.
+
+With ``--expect-all`` the directory must contain one artifact per
+registry-declared experiment -- the CI smoke job runs
+``run-all --preset quick --out DIR`` and then gates on this.
 
 Usage::
 
@@ -54,6 +61,35 @@ def check_artifact(path: Path) -> list[str]:
     return problems
 
 
+def check_manifest(out_dir: Path) -> list[str]:
+    """Problems with ``out_dir/manifest.json`` (absent manifest is fine)."""
+    from repro.experiments.manifest import (
+        MANIFEST_FILENAME,
+        ManifestError,
+        RunManifest,
+    )
+
+    if not (out_dir / MANIFEST_FILENAME).is_file():
+        return []
+    try:
+        manifest = RunManifest.load(out_dir)
+    except ManifestError as exc:
+        return [f"manifest unloadable: {exc}"]
+    problems = []
+    for name, entry in manifest.entries.items():
+        if entry.status == "done" and not manifest.artifact_ok(name):
+            problems.append(
+                f"manifest marks {name!r} done but its artifact is "
+                f"missing or does not match the recorded sha256"
+            )
+        elif entry.status == "failed":
+            problems.append(
+                f"manifest records a failure for {name!r}: "
+                f"{entry.error or '<no error recorded>'}"
+            )
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("out_dir", help="run directory holding *.json artifacts")
@@ -64,8 +100,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    from repro.core.atomicio import TMP_SUFFIX
+    from repro.experiments.manifest import MANIFEST_FILENAME
+
     out_dir = Path(args.out_dir)
-    paths = sorted(out_dir.glob("*.json"))
+    paths = sorted(
+        p for p in out_dir.glob("*.json") if p.name != MANIFEST_FILENAME
+    )
     if not paths:
         print(f"no artifacts found under {out_dir}", file=sys.stderr)
         return 1
@@ -79,6 +120,17 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"FAIL  {path.name}: {problem}")
         else:
             print(f"ok    {path.name}")
+
+    for leftover in sorted(out_dir.glob(f"*{TMP_SUFFIX}")):
+        failures += 1
+        print(
+            f"FAIL  {leftover.name}: leftover temporary file from an "
+            f"interrupted atomic save (crash mid-write?)"
+        )
+
+    for problem in check_manifest(out_dir):
+        failures += 1
+        print(f"FAIL  {MANIFEST_FILENAME}: {problem}")
 
     if args.expect_all:
         from repro.experiments import registry
