@@ -1,0 +1,170 @@
+"""End-to-end decode throughput: batched vs per-packet dispatch.
+
+The workload mirrors the ``validation_ber`` experiment's modem chain
+for all four protocols: packets are modulated and pushed through AWGN
+at a fixed Eb/N0 (untimed setup), then demodulated either one packet
+at a time through the scalar kernels or as one fused call through the
+``demodulate_batch`` entry points.  The timed region is demodulation
+only, so the metric is packets *decoded* per second.
+
+``benchmarks/run_benchmarks.py`` consumes the two mean times, derives
+packets/sec for each dispatch mode, enforces the batched-vs-scalar
+speedup floor, gates against the committed ``BENCH_e2e.json``
+baseline, and rewrites it.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+from repro.phy import ble, wifi_b, wifi_n, zigbee
+from repro.phy.protocols import Protocol
+from repro.phy.waveform import Waveform
+
+#: Packets per protocol in one benchmark round.
+N_PACKETS = 128
+PAYLOAD_BYTES = 30
+EBN0_DB = 8.0
+SEED = 20260807
+
+#: Packets decoded per timed round (all four protocols).
+TOTAL_PACKETS = N_PACKETS * len(Protocol)
+
+#: Noise bandwidth (= sample rate) and bit rate per protocol, matching
+#: repro.experiments.validation_ber.
+_FS_HZ = {
+    Protocol.WIFI_B: 22e6,
+    Protocol.WIFI_N: 20e6,
+    Protocol.BLE: 8e6,
+    Protocol.ZIGBEE: 8e6,
+}
+_BIT_RATE = {
+    Protocol.WIFI_B: 1e6,
+    Protocol.WIFI_N: 6.5e6,
+    Protocol.BLE: 1e6,
+    Protocol.ZIGBEE: 250e3,
+}
+
+_N_REF_BITS = 8 * PAYLOAD_BYTES
+
+
+def _modulate(protocol: Protocol, payload: bytes) -> Waveform:
+    if protocol is Protocol.WIFI_B:
+        return wifi_b.modulate(payload)
+    if protocol is Protocol.WIFI_N:
+        return wifi_n.modulate(payload)
+    if protocol is Protocol.BLE:
+        return ble.modulate(payload)
+    return zigbee.modulate(payload)
+
+
+@functools.cache
+def _workload() -> dict[Protocol, list[Waveform]]:
+    """Noisy waveforms per protocol; built once, shared by both tests."""
+    rng = np.random.default_rng(SEED)
+    waves_by_protocol: dict[Protocol, list[Waveform]] = {}
+    for protocol in Protocol:
+        snr_db = EBN0_DB - 10.0 * np.log10(
+            _FS_HZ[protocol] / _BIT_RATE[protocol]
+        )
+        waves = []
+        for _ in range(N_PACKETS):
+            payload = rng.integers(0, 256, PAYLOAD_BYTES, dtype=np.uint8)
+            wave = _modulate(protocol, payload.tobytes())
+            sigma = (
+                np.sqrt(wave.mean_power())
+                * 10.0 ** (-snr_db / 20.0)
+                / np.sqrt(2.0)
+            )
+            wave.iq = wave.iq + sigma * (
+                rng.normal(size=wave.n_samples)
+                + 1j * rng.normal(size=wave.n_samples)
+            )
+            waves.append(wave)
+        waves_by_protocol[protocol] = waves
+    return waves_by_protocol
+
+
+def _decode_per_packet(workload: dict[Protocol, list[Waveform]]) -> int:
+    n = 0
+    for protocol, waves in workload.items():
+        for wave in waves:
+            if protocol is Protocol.WIFI_B:
+                wifi_b.demodulate(wave, n_payload_bits=_N_REF_BITS)
+            elif protocol is Protocol.WIFI_N:
+                wifi_n.demodulate(wave, n_psdu_bits=_N_REF_BITS)
+            elif protocol is Protocol.BLE:
+                ble.demodulate(wave)
+            else:
+                zigbee.demodulate(wave)
+            n += 1
+    return n
+
+
+def _decode_batched(workload: dict[Protocol, list[Waveform]]) -> int:
+    n = 0
+    for protocol, waves in workload.items():
+        if protocol is Protocol.WIFI_B:
+            results = wifi_b.demodulate_batch(waves, n_payload_bits=_N_REF_BITS)
+        elif protocol is Protocol.WIFI_N:
+            results = wifi_n.demodulate_batch(waves, n_psdu_bits=_N_REF_BITS)
+        elif protocol is Protocol.BLE:
+            results = ble.demodulate_batch(waves)
+        else:
+            results = zigbee.demodulate_batch(waves)
+        n += len(results)
+    return n
+
+
+def test_e2e_decode_per_packet(benchmark) -> None:
+    workload = _workload()
+    n = benchmark.pedantic(
+        _decode_per_packet, args=(workload,), rounds=5, iterations=1,
+        warmup_rounds=1,
+    )
+    assert n == TOTAL_PACKETS
+
+
+def test_e2e_decode_batched(benchmark) -> None:
+    workload = _workload()
+    n = benchmark.pedantic(
+        _decode_batched, args=(workload,), rounds=5, iterations=1,
+        warmup_rounds=1,
+    )
+    assert n == TOTAL_PACKETS
+
+
+def test_batched_decode_matches_per_packet() -> None:
+    """The two dispatch modes must agree bit-for-bit on this workload."""
+    workload = _workload()
+    for protocol, waves in workload.items():
+        if protocol is Protocol.WIFI_B:
+            ref = [
+                wifi_b.demodulate(w, n_payload_bits=_N_REF_BITS).payload_bits
+                for w in waves
+            ]
+            got = [
+                r.payload_bits
+                for r in wifi_b.demodulate_batch(
+                    waves, n_payload_bits=_N_REF_BITS
+                )
+            ]
+        elif protocol is Protocol.WIFI_N:
+            ref = [
+                wifi_n.demodulate(w, n_psdu_bits=_N_REF_BITS).psdu_bits
+                for w in waves
+            ]
+            got = [
+                r.psdu_bits
+                for r in wifi_n.demodulate_batch(waves, n_psdu_bits=_N_REF_BITS)
+            ]
+        elif protocol is Protocol.BLE:
+            ref = [ble.demodulate(w).payload_bits for w in waves]
+            got = [r.payload_bits for r in ble.demodulate_batch(waves)]
+        else:
+            ref = [zigbee.demodulate(w).payload_bits for w in waves]
+            got = [r.payload_bits for r in zigbee.demodulate_batch(waves)]
+        for b, (r, g) in enumerate(zip(ref, got)):
+            assert np.array_equal(r, g), (protocol, b)

@@ -1,0 +1,192 @@
+"""Array-backend seam for the batched PHY/matching kernels.
+
+The batched kernels (``modulate_batch`` / ``demodulate_batch`` in
+:mod:`repro.phy`, :func:`repro.core.matching.score_capture_batch`,
+:func:`repro.phy.viterbi.decode_batch`) are written against a thin
+:class:`ArrayBackend` object instead of importing :mod:`numpy`
+directly.  The backend exposes the array namespace as ``xp`` plus the
+handful of conversion hooks batching needs, so a CuPy or Torch backend
+can drop in later without touching kernel code -- the kernels only use
+the NumPy-compatible subset (elementwise ufuncs, ``matmul``,
+``reshape``/fancy indexing, axis reductions, ``fft``).
+
+Selection
+---------
+:func:`get_backend` resolves the active backend once per process:
+
+* an explicit :func:`set_backend` call wins (tests use this);
+* otherwise the ``REPRO_BACKEND`` environment variable is consulted
+  (``numpy`` is the only built-in; unknown names raise with the
+  registered alternatives listed);
+* otherwise the default ``numpy`` backend is used.
+
+:func:`selection_source` reports which of the three paths picked the
+active backend (``"set"``, ``"env"`` or ``"default"``) -- CI runs the
+fast suite with ``REPRO_BACKEND=numpy`` and asserts ``"env"`` so the
+seam can never silently stop honoring the knob.  Every resolution also
+bumps the ``backend.select.<name>`` perf counter.
+
+Adding a backend
+----------------
+Register a zero-argument factory; import the heavyweight module inside
+the factory so listing backends stays cheap::
+
+    def _cupy() -> ArrayBackend:
+        import cupy
+        return ArrayBackend(name="cupy", xp=cupy,
+                            to_numpy=lambda a: cupy.asnumpy(a))
+
+    register_backend("cupy", _cupy)
+
+Kernels must not assume device-side arrays are NumPy arrays: convert
+results that cross back into scalar code with ``backend.to_numpy``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+from types import ModuleType
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = [
+    "ArrayBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "reset",
+    "selection_source",
+    "set_backend",
+]
+
+#: Environment knob naming the backend to activate.
+ENV_VAR = "REPRO_BACKEND"
+
+
+def _identity(array: Any) -> np.ndarray:
+    return np.asarray(array)
+
+
+@dataclass(frozen=True)
+class ArrayBackend:
+    """A NumPy-compatible array namespace plus conversion hooks.
+
+    ``xp`` is the array module the batched kernels dispatch through
+    (``numpy`` for the built-in backend).  ``to_numpy`` materializes a
+    backend array as a host-side ``numpy.ndarray`` -- the identity for
+    NumPy, a device copy for an accelerator backend.
+    """
+
+    name: str
+    xp: ModuleType
+    to_numpy: Callable[[Any], np.ndarray] = field(default=_identity)
+
+    def asarray(self, array: Any, dtype: Any = None) -> Any:
+        """Backend-side array from arbitrary input."""
+        if dtype is None:
+            return self.xp.asarray(array)
+        return self.xp.asarray(array, dtype=dtype)
+
+
+def _numpy_backend() -> ArrayBackend:
+    return ArrayBackend(name="numpy", xp=np)
+
+
+#: name -> zero-argument factory (imports happen inside the factory).
+_FACTORIES: dict[str, Callable[[], ArrayBackend]] = {"numpy": _numpy_backend}
+
+_LOCK = threading.Lock()
+_ACTIVE: ArrayBackend | None = None
+_SOURCE: str | None = None
+
+
+def register_backend(name: str, factory: Callable[[], ArrayBackend]) -> None:
+    """Register a backend factory under ``name`` (overwrites allowed).
+
+    The factory runs the first time the backend is selected, so heavy
+    imports (cupy, torch) belong inside it.
+    """
+    if not name:
+        raise ValueError("backend name must be non-empty")
+    with _LOCK:
+        _FACTORIES[name] = factory
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    with _LOCK:
+        return tuple(sorted(_FACTORIES))
+
+
+def set_backend(name: str) -> ArrayBackend:
+    """Explicitly activate a registered backend (wins over the env)."""
+    backend = _resolve(name)
+    global _ACTIVE, _SOURCE
+    with _LOCK:
+        _ACTIVE = backend
+        _SOURCE = "set"
+    _count_selection(backend.name)
+    return backend
+
+
+def get_backend() -> ArrayBackend:
+    """The active backend, resolving ``REPRO_BACKEND`` on first use."""
+    global _ACTIVE, _SOURCE
+    with _LOCK:
+        if _ACTIVE is not None:
+            return _ACTIVE
+    raw = os.environ.get(ENV_VAR, "").strip()
+    backend = _resolve(raw) if raw else _resolve("numpy")
+    source = "env" if raw else "default"
+    with _LOCK:
+        if _ACTIVE is None:
+            # Per-process selection cache, rebuilt in each worker.
+            _ACTIVE = backend  # reproflow: disable=F001
+            _SOURCE = source  # reproflow: disable=F001
+        backend = _ACTIVE
+    _count_selection(backend.name)
+    return backend
+
+
+def selection_source() -> str | None:
+    """How the active backend was chosen: ``"set"``/``"env"``/``"default"``.
+
+    ``None`` until the first :func:`get_backend`/:func:`set_backend`
+    call resolves one.
+    """
+    with _LOCK:
+        return _SOURCE
+
+
+def reset() -> None:
+    """Drop the cached selection (tests re-resolving ``REPRO_BACKEND``)."""
+    global _ACTIVE, _SOURCE
+    with _LOCK:
+        _ACTIVE = None
+        _SOURCE = None
+
+
+def _resolve(name: str) -> ArrayBackend:
+    with _LOCK:
+        factory = _FACTORIES.get(name)
+        known = tuple(sorted(_FACTORIES))
+    if factory is None:
+        raise ValueError(
+            f"unknown {ENV_VAR} backend {name!r}; registered: {', '.join(known)}"
+        )
+    backend = factory()
+    if backend.name != name:
+        raise ValueError(
+            f"backend factory for {name!r} returned backend named "
+            f"{backend.name!r}"
+        )
+    return backend
+
+
+def _count_selection(name: str) -> None:
+    from repro import perf
+
+    perf.count(f"backend.select.{name}")

@@ -10,6 +10,14 @@ call counts and cumulative/mean wall time, plus the waveform/template
 cache counters from :mod:`repro.core.wavecache`.  :func:`report`
 renders the same table on demand.
 
+Batched-kernel visibility: every PHY/matching kernel entry point
+reports its dispatches through :func:`dispatch`, which maintains (a)
+``dispatch.<kernel>.batched`` / ``dispatch.<kernel>.scalar`` counters
+and (b) a per-kernel batch-size histogram
+(:func:`batch_histograms`).  A campaign that silently regresses to the
+per-packet path shows up immediately in the ``REPRO_PERF=1`` report:
+the scalar counter climbs and the histogram mass sits at batch size 1.
+
 Robustness events from the fault-tolerant Monte-Carlo runner
 (:mod:`repro.sim.runner`) land in the counters section under the
 ``mc.`` prefix -- ``mc.chunk_retries`` (chunks re-run after a
@@ -30,7 +38,17 @@ from collections import defaultdict
 from contextlib import contextmanager
 from typing import Callable, Iterator, TypeVar
 
-__all__ = ["timer", "timed", "count", "counters", "timings", "reset", "report"]
+__all__ = [
+    "timer",
+    "timed",
+    "count",
+    "counters",
+    "timings",
+    "dispatch",
+    "batch_histograms",
+    "reset",
+    "report",
+]
 
 _F = TypeVar("_F", bound=Callable)
 
@@ -39,6 +57,9 @@ _TIMINGS: dict[str, list[float]] = defaultdict(lambda: [0, 0.0])
 
 #: name -> count
 _COUNTERS: dict[str, int] = defaultdict(int)
+
+#: kernel -> {batch size -> dispatch count}
+_BATCH_HIST: dict[str, dict[int, int]] = defaultdict(lambda: defaultdict(int))
 
 
 @contextmanager
@@ -71,12 +92,29 @@ def timed(name: str | None = None) -> Callable[[_F], _F]:
 
 def count(name: str, n: int = 1) -> None:
     """Bump the event counter ``name`` by ``n``."""
-    _COUNTERS[name] += n
+    # Telemetry only; worker-side mutations are intentionally local.
+    _COUNTERS[name] += n  # reproflow: disable=F001
 
 
 def counters() -> dict[str, int]:
     """Snapshot of all event counters."""
     return dict(_COUNTERS)
+
+
+def dispatch(kernel: str, n: int, *, batched: bool) -> None:
+    """Record one kernel dispatch covering ``n`` packets/captures.
+
+    Scalar entry points report ``n=1, batched=False``; batched entry
+    points report their group size.  Both feed the per-kernel batch
+    histogram and the ``dispatch.<kernel>.{batched,scalar}`` counters.
+    """
+    _COUNTERS[f"dispatch.{kernel}.{'batched' if batched else 'scalar'}"] += 1  # reproflow: disable=F001
+    _BATCH_HIST[kernel][int(n)] += 1  # reproflow: disable=F001
+
+
+def batch_histograms() -> dict[str, dict[int, int]]:
+    """Snapshot of batch-size histograms: kernel -> {size -> count}."""
+    return {k: dict(v) for k, v in _BATCH_HIST.items()}
 
 
 def timings() -> dict[str, tuple[int, float]]:
@@ -85,9 +123,10 @@ def timings() -> dict[str, tuple[int, float]]:
 
 
 def reset() -> None:
-    """Clear all timers and counters."""
+    """Clear all timers, counters and batch histograms."""
     _TIMINGS.clear()
     _COUNTERS.clear()
+    _BATCH_HIST.clear()
 
 
 def report() -> str:
@@ -106,6 +145,15 @@ def report() -> str:
         width = max(len(k) for k in c)
         for name, n in sorted(c.items()):
             lines.append(f"  {name:<{width}s} {n:10d}")
+    hist = batch_histograms()
+    if hist:
+        lines.append("batch-size histograms (kernel: size x dispatches):")
+        width = max(len(k) for k in hist)
+        for kernel, sizes in sorted(hist.items()):
+            cells = "  ".join(
+                f"{size}x{cnt}" for size, cnt in sorted(sizes.items())
+            )
+            lines.append(f"  {kernel:<{width}s} {cells}")
     try:
         from repro.core.wavecache import cache_stats
 

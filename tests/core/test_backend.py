@@ -1,0 +1,116 @@
+"""Backend seam: registration, selection order, and the env knob."""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core import backend as backend_mod
+
+
+@pytest.fixture(autouse=True)
+def _fresh_selection():
+    """Each test resolves from a clean per-process selection cache."""
+    backend_mod.reset()
+    yield
+    backend_mod.reset()
+
+
+class TestSelection:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(backend_mod.ENV_VAR, raising=False)
+        b = backend_mod.get_backend()
+        assert b.name == "numpy"
+        assert b.xp is np
+        assert backend_mod.selection_source() == "default"
+
+    def test_env_var_selects(self, monkeypatch):
+        monkeypatch.setenv(backend_mod.ENV_VAR, "numpy")
+        assert backend_mod.get_backend().name == "numpy"
+        assert backend_mod.selection_source() == "env"
+
+    def test_unknown_env_backend_raises_with_known_names(self, monkeypatch):
+        monkeypatch.setenv(backend_mod.ENV_VAR, "cuda-imaginary")
+        with pytest.raises(ValueError, match="cuda-imaginary"):
+            backend_mod.get_backend()
+
+    def test_set_backend_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(backend_mod.ENV_VAR, "nonexistent")
+        b = backend_mod.set_backend("numpy")
+        assert b.name == "numpy"
+        assert backend_mod.selection_source() == "set"
+        # get_backend must return the explicit choice, not re-read env.
+        assert backend_mod.get_backend() is b
+
+    def test_selection_source_none_before_resolution(self):
+        assert backend_mod.selection_source() is None
+
+    def test_selection_is_cached(self, monkeypatch):
+        monkeypatch.delenv(backend_mod.ENV_VAR, raising=False)
+        first = backend_mod.get_backend()
+        monkeypatch.setenv(backend_mod.ENV_VAR, "nonexistent")
+        assert backend_mod.get_backend() is first
+
+
+class TestRegistry:
+    def test_register_and_resolve(self):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return backend_mod.ArrayBackend(name="fake", xp=np)
+
+        backend_mod.register_backend("fake", factory)
+        try:
+            assert "fake" in backend_mod.available_backends()
+            assert backend_mod.set_backend("fake").name == "fake"
+            assert calls == [1]
+        finally:
+            backend_mod._FACTORIES.pop("fake", None)
+
+    def test_factory_name_mismatch_raises(self):
+        backend_mod.register_backend(
+            "misnamed",
+            lambda: backend_mod.ArrayBackend(name="other", xp=np),
+        )
+        try:
+            with pytest.raises(ValueError, match="misnamed"):
+                backend_mod.set_backend("misnamed")
+        finally:
+            backend_mod._FACTORIES.pop("misnamed", None)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            backend_mod.register_backend("", lambda: None)
+
+    def test_asarray_dtype(self):
+        b = backend_mod.get_backend()
+        out = b.asarray([1, 2, 3], dtype=np.float64)
+        assert out.dtype == np.float64
+        assert np.array_equal(b.to_numpy(out), [1.0, 2.0, 3.0])
+
+
+class TestEnvSubprocess:
+    """The knob must work for a fresh interpreter, as CI invokes it."""
+
+    def test_env_selection_in_subprocess(self):
+        code = (
+            "from repro.core import backend\n"
+            "b = backend.get_backend()\n"
+            "assert b.name == 'numpy', b.name\n"
+            "assert backend.selection_source() == 'env', "
+            "backend.selection_source()\n"
+            "print('env-selected')\n"
+        )
+        env = dict(os.environ, REPRO_BACKEND="numpy")
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "env-selected" in proc.stdout

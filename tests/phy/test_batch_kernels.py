@@ -1,0 +1,206 @@
+"""Batched PHY entry points vs loops over the single-packet kernels.
+
+The ``*_batch`` kernels promise bit-identical results to the scalar
+loop for every protocol (see ``repro.phy.batch`` for the ragged-input
+grouping policy).  These tests pin that contract at its edges -- N=1
+batches, ragged payload lengths, empty batches -- and with a
+hypothesis property that stacks randomized payload sets through both
+dispatch modes, demodulating noisy copies so the float-sensitive
+tracking loops (CFO, phase feedback, CPE) are actually exercised.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adc import Adc
+from repro.core.matching import score_capture, score_capture_batch
+from repro.core.templates import TemplateBank
+from repro.phy import ble, viterbi, wifi_b, wifi_n, zigbee
+from tests import reference_impls as ref
+
+PROTOCOL_MODULES = {
+    "wifi_b": wifi_b,
+    "wifi_n": wifi_n,
+    "ble": ble,
+    "zigbee": zigbee,
+}
+
+
+def _results_equal(a, b) -> bool:
+    """Field-by-field equality for the protocol decode dataclasses."""
+    for f in dataclasses.fields(a):
+        x, y = getattr(a, f.name), getattr(b, f.name)
+        if isinstance(x, list):
+            if len(x) != len(y) or any(
+                not np.array_equal(u, v) for u, v in zip(x, y)
+            ):
+                return False
+        elif isinstance(x, np.ndarray) or isinstance(y, np.ndarray):
+            if not np.array_equal(np.asarray(x), np.asarray(y)):
+                return False
+        elif x != y:
+            return False
+    return True
+
+
+def _noisy(waves, seed):
+    """AWGN copies; deterministic so both dispatch modes see one input."""
+    rng = np.random.default_rng(seed)
+    out = []
+    for w in waves:
+        sigma = 0.05 * float(np.sqrt(w.mean_power()))
+        iq = w.iq + sigma * (
+            rng.normal(size=w.n_samples) + 1j * rng.normal(size=w.n_samples)
+        )
+        noisy = dataclasses.replace(w, iq=iq, annotations=dict(w.annotations))
+        out.append(noisy)
+    return out
+
+
+@pytest.mark.parametrize("name", sorted(PROTOCOL_MODULES))
+class TestRoundtripBatchEqualsScalar:
+    def test_single_packet_batch(self, name):
+        mod = PROTOCOL_MODULES[name]
+        payload = bytes(range(8))
+        waves = mod.modulate_batch([payload])
+        assert len(waves) == 1
+        scalar = mod.modulate(payload)
+        assert np.array_equal(waves[0].iq, scalar.iq)
+        got = mod.demodulate_batch(_noisy(waves, seed=3))[0]
+        want = mod.demodulate(_noisy([scalar], seed=3)[0])
+        assert _results_equal(got, want)
+
+    def test_ragged_lengths_preserve_order(self, name):
+        mod = PROTOCOL_MODULES[name]
+        rng = np.random.default_rng(7)
+        payloads = [
+            rng.integers(0, 256, size, dtype=np.uint8).tobytes()
+            for size in (6, 4, 6, 9, 4)
+        ]
+        waves = mod.modulate_batch(payloads)
+        scalars = [mod.modulate(p) for p in payloads]
+        for w, s in zip(waves, scalars):
+            assert np.array_equal(w.iq, s.iq)
+        got = mod.demodulate_batch(_noisy(waves, seed=11))
+        want = [mod.demodulate(w) for w in _noisy(scalars, seed=11)]
+        for g, r in zip(got, want):
+            assert _results_equal(g, r)
+
+    def test_empty_batch_raises(self, name):
+        mod = PROTOCOL_MODULES[name]
+        with pytest.raises(ValueError, match="empty batch"):
+            mod.modulate_batch([])
+        with pytest.raises(ValueError, match="empty batch"):
+            mod.demodulate_batch([])
+
+    @settings(max_examples=8, deadline=None)
+    @given(data=st.data())
+    def test_random_payload_sets(self, name, data):
+        mod = PROTOCOL_MODULES[name]
+        n_packets = data.draw(st.integers(1, 4), label="n_packets")
+        payloads = [
+            bytes(
+                data.draw(
+                    st.lists(
+                        st.integers(0, 255), min_size=2, max_size=10
+                    ),
+                    label=f"payload{i}",
+                )
+            )
+            for i in range(n_packets)
+        ]
+        seed = data.draw(st.integers(0, 2**16), label="noise_seed")
+        waves = mod.modulate_batch(payloads)
+        scalars = [mod.modulate(p) for p in payloads]
+        for w, s in zip(waves, scalars):
+            assert np.array_equal(w.iq, s.iq)
+        got = mod.demodulate_batch(_noisy(waves, seed))
+        want = [mod.demodulate(w) for w in _noisy(scalars, seed)]
+        for g, r in zip(got, want):
+            assert _results_equal(g, r)
+
+
+class TestViterbiBatch:
+    def _noisy_stream(self, rng, n):
+        info = rng.integers(0, 2, n).astype(np.uint8)
+        coded = ref.convcode_encode(info)
+        noisy = coded.copy()
+        noisy[rng.random(noisy.size) < 0.05] ^= 1
+        noisy[rng.random(noisy.size) < 0.05] = viterbi.ERASURE
+        return noisy, n
+
+    def test_batch_matches_scalar_loop(self):
+        rng = np.random.default_rng(5)
+        for n in (1, 3, 17, 130):
+            streams = [self._noisy_stream(rng, n)[0] for _ in range(5)]
+            got = viterbi.decode_batch(streams, n_info=n)
+            want = [viterbi.decode(s, n_info=n) for s in streams]
+            assert all(np.array_equal(g, w) for g, w in zip(got, want))
+
+    def test_soft_batch_matches_scalar_loop(self):
+        rng = np.random.default_rng(6)
+        for n in (1, 9, 64):
+            llrs = [rng.normal(size=2 * n) for _ in range(4)]
+            got = viterbi.decode_soft_batch(llrs, n_info=n)
+            want = [viterbi.decode_soft(x, n_info=n) for x in llrs]
+            assert all(np.array_equal(g, w) for g, w in zip(got, want))
+
+    def test_single_stream_batch(self):
+        rng = np.random.default_rng(8)
+        noisy, n = self._noisy_stream(rng, 40)
+        (got,) = viterbi.decode_batch([noisy], n_info=n)
+        assert np.array_equal(got, viterbi.decode(noisy, n_info=n))
+
+    def test_empty_batch_raises(self):
+        with pytest.raises(ValueError, match="empty batch"):
+            viterbi.decode_batch([])
+        with pytest.raises(ValueError, match="empty batch"):
+            viterbi.decode_soft_batch([])
+
+    def test_ragged_batch_raises(self):
+        with pytest.raises(ValueError, match="mixed lengths"):
+            viterbi.decode_batch([np.zeros(4, np.uint8), np.zeros(6, np.uint8)])
+
+
+class TestMatcherBatch:
+    @pytest.fixture(scope="class")
+    def bank(self):
+        return TemplateBank.build(Adc(sample_rate=10e6, n_bits=4))
+
+    def _captures(self, bank, rng, sizes):
+        need = bank.l_p + bank.l_m
+        return [rng.normal(size=need + extra) for extra in sizes]
+
+    @pytest.mark.parametrize("quantized", [False, True])
+    def test_batch_matches_scalar_loop(self, bank, quantized):
+        rng = np.random.default_rng(13)
+        captures = self._captures(bank, rng, (0, 40, 0, 7, 40))
+        offsets = tuple(range(0, 41, 8))
+        got = score_capture_batch(
+            captures, bank, quantized=quantized, offsets=offsets
+        )
+        want = [
+            score_capture(c, bank, quantized=quantized, offsets=offsets)
+            for c in captures
+        ]
+        assert got == want
+
+    def test_single_capture_batch(self, bank):
+        rng = np.random.default_rng(14)
+        (capture,) = self._captures(bank, rng, (3,))
+        (got,) = score_capture_batch([capture], bank, quantized=False)
+        assert got == score_capture(capture, bank, quantized=False)
+
+    def test_empty_batch_raises(self, bank):
+        with pytest.raises(ValueError, match="empty batch"):
+            score_capture_batch([], bank, quantized=False)
+
+    def test_too_short_capture_scores_sentinel(self, bank):
+        short = np.zeros(4)
+        (got,) = score_capture_batch([short], bank, quantized=False)
+        assert got == score_capture(short, bank, quantized=False)
+        assert all(v == -1.0 for v in got.values())

@@ -503,7 +503,7 @@ class TestF002:
 
 
 # ----------------------------------------------------------------------
-# B001: tracked bytecode
+# B001/B002: tracked bytecode and packaging metadata
 # ----------------------------------------------------------------------
 class TestB001:
     def _git(self, cwd, *args):
@@ -521,10 +521,43 @@ class TestB001:
         assert [f.code for f in findings] == ["B001"]
         assert "mod.cpython-311.pyc" in findings[0].path
 
+    def test_tracked_egg_info_fires(self, tmp_path):
+        self._git(tmp_path, "init", "-q")
+        egg = tmp_path / "src" / "pkg.egg-info"
+        egg.mkdir(parents=True)
+        (egg / "PKG-INFO").write_text("Metadata-Version: 2.1\n")
+        (egg / "SOURCES.txt").write_text("pkg/__init__.py\n")
+        self._git(tmp_path, "add", "-f", ".")
+        findings = check_tracked_bytecode(str(tmp_path))
+        assert [f.code for f in findings] == ["B002", "B002"]
+        assert all("egg-info" in f.path for f in findings)
+        assert "egg-info" in findings[0].message
+
+    def test_tracked_pyc_and_egg_info_both_fire(self, tmp_path):
+        self._git(tmp_path, "init", "-q")
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "mod.cpython-311.pyc").write_bytes(b"\x00")
+        egg = tmp_path / "pkg.egg-info"
+        egg.mkdir()
+        (egg / "top_level.txt").write_text("pkg\n")
+        self._git(tmp_path, "add", "-f", ".")
+        codes = sorted(f.code for f in check_tracked_bytecode(str(tmp_path)))
+        assert codes == ["B001", "B002"]
+
     def test_clean_repo_ok(self, tmp_path):
         self._git(tmp_path, "init", "-q")
         (tmp_path / "mod.py").write_text("x = 1\n")
         self._git(tmp_path, "add", ".")
+        assert check_tracked_bytecode(str(tmp_path)) == []
+
+    def test_untracked_egg_info_ok(self, tmp_path):
+        self._git(tmp_path, "init", "-q")
+        (tmp_path / "mod.py").write_text("x = 1\n")
+        egg = tmp_path / "pkg.egg-info"
+        egg.mkdir()
+        (egg / "PKG-INFO").write_text("Metadata-Version: 2.1\n")
+        self._git(tmp_path, "add", "mod.py")
         assert check_tracked_bytecode(str(tmp_path)) == []
 
     def test_not_a_repo_silently_ok(self, tmp_path):

@@ -6,7 +6,7 @@ whole-program view of ``src/repro``: a call graph annotated with
 physical units (from :mod:`repro.types.units` annotations and naming
 conventions), a unit dataflow pass (U-series), and a purity /
 fork-safety pass over everything reachable from worker entry points
-(F-series), plus a tracked-bytecode repo guard (B001).
+(F-series), plus tracked-artifact repo guards (B001 bytecode, B002 egg-info).
 
 Public entry point: :func:`analyze_paths`.  The CLI lives in
 ``tools/reproflow/__main__.py`` (``python -m tools.reproflow``).

@@ -52,12 +52,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--no-bytecode-check",
         action="store_true",
-        help="skip the B001 tracked-bytecode repo guard",
+        help="skip the B001/B002 tracked-artifact repo guards",
     )
     parser.add_argument(
         "--repo-root",
         default=".",
-        help="repository root for the B001 guard (default: cwd)",
+        help="repository root for the B001/B002 guards (default: cwd)",
     )
     args = parser.parse_args(argv)
 

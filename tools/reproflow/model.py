@@ -33,6 +33,7 @@ RULES: dict[str, str] = {
     "F001": "worker-reachable function mutates a module-level global",
     "F002": "worker-reachable function writes wavecache state outside its locked API",
     "B001": "compiled bytecode tracked by git; remove and gitignore it",
+    "B002": "packaging metadata (egg-info) tracked by git; remove and gitignore it",
 }
 
 
