@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast smoke crash-test bench bench-primitives bench-tables perf-report examples lint typecheck check clean
+.PHONY: install test test-fast smoke crash-test bench bench-primitives bench-tables perf-report examples lint analyze typecheck check clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -14,11 +14,20 @@ test:
 test-fast:
 	$(PYTHON) -m pytest tests/ -m "not slow"
 
-# Determinism/dtype AST linter + units/purity dataflow analyzer
-# (docs/STATIC_ANALYSIS.md).
+# Determinism/dtype AST linter + units/purity dataflow analyzer +
+# symbolic shape/dtype verifier (docs/STATIC_ANALYSIS.md).
 lint:
 	$(PYTHON) -m tools.reprolint src/
 	$(PYTHON) -m tools.reproflow src/repro
+	$(PYTHON) -m tools.reproshape src/repro
+
+# The whole-program analyzers with their JSON reports: the annotated
+# call graph (reproflow) and the symbolic shape table + batch/scalar
+# parity proofs (reproshape) land next to the tree for inspection.
+analyze:
+	$(PYTHON) -m tools.reproflow src/repro --format=json > reproflow-report.json
+	$(PYTHON) -m tools.reproshape src/repro --format=json > reproshape-report.json
+	@echo "analyze: wrote reproflow-report.json and reproshape-report.json"
 
 # mypy (strict on repro.phy/core/channel/sim per pyproject.toml).
 # Skips with a notice when mypy is not installed, so `make check`

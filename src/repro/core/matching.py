@@ -128,6 +128,7 @@ def score_capture(
     return scores
 
 
+@contracts.shapes("[n_codes] ->")
 def score_capture_batch(
     captures: Sequence[np.ndarray],
     bank: TemplateBank,

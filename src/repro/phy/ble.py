@@ -274,6 +274,7 @@ def demodulate(wave: Waveform, *, dewhiten: bool = True) -> BleDecodeResult:
 # ----------------------------------------------------------------------
 # batched entry points
 # ----------------------------------------------------------------------
+@contracts.dtypes(np.uint8)
 def modulate_batch(
     payloads: Sequence[bytes | np.ndarray],
     config: BleConfig | None = None,

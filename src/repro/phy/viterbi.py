@@ -171,6 +171,7 @@ _BM0 = _SRC0 * 2 + _BIT0  # bmtab columns via predecessor 0
 _BM1 = _SRC1 * 2 + _BIT1
 
 
+@contracts.shapes("64 ; nblk,64 ; rem,64")
 def _traceback(
     metrics: np.ndarray,
     surv_blocks: np.ndarray,
@@ -193,6 +194,7 @@ def _traceback(
     return decoded[:n_info]
 
 
+@contracts.shapes("n_coded ->")
 def decode(coded: np.ndarray | list[int], *, n_info: int | None = None) -> BitArray:
     """Hard-decision Viterbi decode of a rate-1/2 coded stream.
 
@@ -246,6 +248,7 @@ def decode(coded: np.ndarray | list[int], *, n_info: int | None = None) -> BitAr
     return _traceback(metrics, surv_blocks, surv_tail, n_steps, n_info)
 
 
+@contracts.shapes("n_llrs ->")
 def decode_soft(llrs: np.ndarray, *, n_info: int | None = None) -> BitArray:
     """Soft-decision Viterbi decode of a rate-1/2 LLR stream.
 
@@ -408,6 +411,7 @@ def _traceback_batch(
     return [decoded[b, :n_info].copy() for b in range(n_batch)]
 
 
+@contracts.shapes("[n_coded] ->")
 def decode_batch(
     coded_batch: Sequence[np.ndarray | list[int]] | np.ndarray,
     *,
@@ -492,6 +496,7 @@ def decode_batch(
     )
 
 
+@contracts.shapes("[n_llrs] ->")
 def decode_soft_batch(
     llrs_batch: Sequence[np.ndarray] | np.ndarray,
     *,

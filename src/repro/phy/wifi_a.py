@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core import contracts
 from repro.phy import bits as bitlib
 from repro.phy import convcode, viterbi
 from repro.phy.interleaver import deinterleave as legacy_deinterleave
@@ -98,6 +99,7 @@ class WifiAConfig:
         return SAMPLE_RATE
 
 
+@contracts.dtypes(np.uint8)
 def modulate(payload: bytes | np.ndarray, config: WifiAConfig | None = None) -> Waveform:
     """Modulate a PSDU into a legacy OFDM waveform."""
     cfg = config or WifiAConfig()

@@ -167,6 +167,7 @@ def _dqpsk_phases(bits: np.ndarray, phase0: float = 0.0) -> np.ndarray:
     return phase0 + np.cumsum(increments)
 
 
+@contracts.shapes("n -> n*11")
 def _barker_chips(phases: np.ndarray) -> np.ndarray:
     """Spread one complex symbol per phase with Barker-11."""
     symbols = np.exp(1j * phases)
@@ -208,6 +209,7 @@ def _cck11_chips(bits: np.ndarray, phase0: float) -> tuple[np.ndarray, float]:
     return chips, float(phi1[-1]) if phi1.size else phase0
 
 
+@contracts.shapes("n ; n ; n ; n -> n,8")
 def _cck_codewords(
     phi1: np.ndarray, phi2: np.ndarray, phi3: np.ndarray, phi4: np.ndarray
 ) -> np.ndarray:
@@ -387,6 +389,7 @@ class WifiBDecodeResult:
     rate_mbps: float
 
 
+@contracts.shapes("_ -> _,_")
 def _symbol_matrix(iq: np.ndarray, sym_len: int, n_symbols: int, start: int) -> np.ndarray:
     """Consecutive symbol-length segments as rows, zero-padded at the end."""
     end = start + n_symbols * sym_len
@@ -396,18 +399,21 @@ def _symbol_matrix(iq: np.ndarray, sym_len: int, n_symbols: int, start: int) -> 
     return seg.reshape(n_symbols, sym_len)
 
 
+@contracts.shapes("_ -> _")
 def _despread_barker(iq: np.ndarray, sps: int, n_symbols: int, start: int) -> np.ndarray:
     """Correlate each 11-chip window with Barker; complex symbol values."""
     chip_kernel = np.repeat(BARKER11, sps) / (11 * sps)
     return _symbol_matrix(iq, 11 * sps, n_symbols, start) @ chip_kernel
 
 
+@contracts.shapes("n -> n")
 def _diff_bits(symbols: np.ndarray, prev: complex) -> np.ndarray:
     """DBPSK differential decision against the previous symbol."""
     ref = np.concatenate([[prev], symbols[:-1]])
     return (np.real(symbols * np.conj(ref)) < 0).astype(np.uint8)
 
 
+@contracts.shapes("n -> n*2")
 def _diff_dibits(symbols: np.ndarray, prev: complex) -> np.ndarray:
     """DQPSK differential decision; returns interleaved (d0, d1) bits."""
     ref = np.concatenate([[prev], symbols[:-1]])
@@ -573,6 +579,7 @@ def demodulate(
 # ----------------------------------------------------------------------
 # batched entry points
 # ----------------------------------------------------------------------
+@contracts.dtypes(np.uint8)
 def modulate_batch(
     payloads: Sequence[bytes | np.ndarray],
     config: WifiBConfig | None = None,
@@ -657,7 +664,9 @@ def _modulate_group(
         phi2 = np.pi / 2 + d[:, :, 2] * np.pi
         phi3 = xp.zeros(d.shape[:2])
         phi4 = d[:, :, 3] * np.pi
-        psdu_chips = _cck_codewords_batch(phi1, phi2, phi3, phi4, xp)
+        psdu_chips = _cck_codewords_batch(phi1, phi2, phi3, phi4, xp).reshape(
+            n_batch, -1
+        )
         chips_per_symbol = 8
     else:  # CCK 11
         pad = (-psdu_rows[0].size) % 8
@@ -674,7 +683,9 @@ def _modulate_group(
         phi2 = _CCK11_QPSK_LUT[2 * d[:, :, 2] + d[:, :, 3]] + np.pi / 2
         phi3 = _CCK11_QPSK_LUT[2 * d[:, :, 4] + d[:, :, 5]]
         phi4 = _CCK11_QPSK_LUT[2 * d[:, :, 6] + d[:, :, 7]]
-        psdu_chips = _cck_codewords_batch(phi1, phi2, phi3, phi4, xp)
+        psdu_chips = _cck_codewords_batch(phi1, phi2, phi3, phi4, xp).reshape(
+            n_batch, -1
+        )
         chips_per_symbol = 8
 
     taps = pulse.rrc_taps(0.5, cfg.samples_per_chip) if cfg.shaped else None
@@ -718,7 +729,7 @@ def _barker_chips_batch(phases: np.ndarray, xp: ModuleType) -> np.ndarray:
     )
 
 
-@contracts.shapes("b,n ; b,n ; b,n ; b,n -> b,n*8")
+@contracts.shapes("b,n ; b,n ; b,n ; b,n -> b,n,8")
 def _cck_codewords_batch(
     phi1: np.ndarray,
     phi2: np.ndarray,
@@ -726,11 +737,11 @@ def _cck_codewords_batch(
     phi4: np.ndarray,
     xp: ModuleType,
 ) -> np.ndarray:
-    """Batched :func:`_cck_codewords`: ``(B, n_sym)`` -> ``(B, 8*n_sym)``."""
+    """Batched :func:`_cck_codewords`: ``(B, n_sym)`` -> ``(B, n_sym, 8)``."""
     phases = phi1[:, :, None] + xp.stack(
         [phi2, phi3, phi4], axis=2
     ) @ _CCK_PHI_COEF.T
-    return (_CCK_CHIP_SIGN * xp.exp(1j * phases)).reshape(phi1.shape[0], -1)
+    return _CCK_CHIP_SIGN * xp.exp(1j * phases)
 
 
 def demodulate_batch(
@@ -854,6 +865,7 @@ def _demodulate_group(
     return results
 
 
+@contracts.shapes("b,_ -> b,_,_")
 def _symbol_matrix_batch(
     iq: np.ndarray, sym_len: int, n_symbols: int, start: int, xp: ModuleType
 ) -> np.ndarray:

@@ -629,6 +629,7 @@ def demodulate(
 # ----------------------------------------------------------------------
 # batched entry points
 # ----------------------------------------------------------------------
+@contracts.dtypes(np.uint8)
 def modulate_batch(
     payloads: Sequence[bytes | np.ndarray],
     config: WifiNConfig | None = None,

@@ -116,6 +116,8 @@ def bits_from_symbols(symbols: np.ndarray) -> BitArray:
     return ((arr[:, None] >> np.arange(4, dtype=np.uint8)) & 1).astype(np.uint8).ravel()
 
 
+@contracts.shapes("n")
+@contracts.dtypes(np.uint8)
 def _oqpsk_waveform(chips: np.ndarray, cfg: ZigbeeConfig) -> ComplexIQ:
     """Half-sine OQPSK: even chips -> I, odd chips -> Q (offset Tc/2)."""
     bipolar = 2.0 * chips.astype(float) - 1.0
@@ -368,6 +370,7 @@ def _oqpsk_waveform_batch(
     return wave / np.sqrt(2.0)
 
 
+@contracts.dtypes(np.uint8)
 def modulate_batch(
     payloads: Sequence[bytes | np.ndarray],
     config: ZigbeeConfig | None = None,

@@ -1,0 +1,156 @@
+"""Self-tests for the shared analyzer scaffolding in tools/analysis_common.
+
+reprolint, reproflow, and reproshape all build on these primitives, so
+the semantics pinned here (pragma grammar, fingerprint identity,
+baseline file format, exit codes, --select parsing) are load-bearing
+for all three CLIs at once.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from tools.analysis_common import (
+    EXIT_CLEAN,
+    EXIT_ERROR,
+    EXIT_FINDINGS,
+    FILE_PRAGMA_MAX_LINE,
+    BaselineBase,
+    finding_fingerprint,
+    is_code_suppressed,
+    parse_select,
+    parse_suppressions,
+    selected_by_prefix,
+)
+
+
+class TestParseSuppressions:
+    def test_line_pragma(self):
+        per_line, per_file = parse_suppressions(
+            "x = 1\ny = 2  # mytool: disable=X001,X002\n", "mytool"
+        )
+        assert per_line == {2: {"X001", "X002"}}
+        assert per_file == set()
+
+    def test_file_pragma_within_header(self):
+        per_line, per_file = parse_suppressions(
+            "# mytool: disable-file=X001\nx = 1\n", "mytool"
+        )
+        assert per_file == {"X001"}
+
+    def test_file_pragma_after_header_ignored(self):
+        source = "\n" * FILE_PRAGMA_MAX_LINE + "# mytool: disable-file=X001\n"
+        _, per_file = parse_suppressions(source, "mytool")
+        assert per_file == set()
+
+    def test_tool_marker_is_exact(self):
+        per_line, per_file = parse_suppressions(
+            "x = 1  # othertool: disable=X001\n", "mytool"
+        )
+        assert per_line == {} and per_file == set()
+
+    def test_combined_clauses_on_one_line(self):
+        per_line, per_file = parse_suppressions(
+            "import os  # mytool: disable=X001 disable-file=X002\n", "mytool"
+        )
+        assert per_line == {1: {"X001"}}
+        assert per_file == {"X002"}
+
+
+class TestIsCodeSuppressed:
+    def test_per_line_and_per_file(self):
+        per_line = {3: {"X001"}}
+        assert is_code_suppressed("X001", 3, per_line, set())
+        assert not is_code_suppressed("X001", 4, per_line, set())
+        assert not is_code_suppressed("X002", 3, per_line, set())
+        assert is_code_suppressed("X002", 9, {}, {"X002"})
+
+    def test_disable_all(self):
+        assert is_code_suppressed("X777", 5, {5: {"all"}}, set())
+        assert is_code_suppressed("X777", 1, {}, {"all"})
+
+
+class TestFingerprint:
+    def test_line_independent_and_stable(self):
+        a = finding_fingerprint("src/m.py", "X001", "m.f", "boom")
+        assert a == finding_fingerprint("src/m.py", "X001", "m.f", "boom")
+        assert len(a) == 16
+
+    def test_windows_paths_normalize(self):
+        assert finding_fingerprint(
+            "src\\m.py", "X001", "m.f", "boom"
+        ) == finding_fingerprint("src/m.py", "X001", "m.f", "boom")
+
+    def test_components_matter(self):
+        base = finding_fingerprint("src/m.py", "X001", "m.f", "boom")
+        assert base != finding_fingerprint("src/m.py", "X002", "m.f", "boom")
+        assert base != finding_fingerprint("src/m.py", "X001", "m.g", "boom")
+        assert base != finding_fingerprint("src/m.py", "X001", "m.f", "bust")
+
+
+@dataclasses.dataclass(frozen=True)
+class _Finding:
+    path: str
+    code: str
+    symbol: str
+    message: str
+
+    def fingerprint(self) -> str:
+        return finding_fingerprint(self.path, self.code, self.symbol, self.message)
+
+
+class _ToolBaseline(BaselineBase):
+    TOOL = "faketool"
+
+
+class TestBaselineBase:
+    F1 = _Finding("src/a.py", "X001", "a.f", "one")
+    F2 = _Finding("src/b.py", "X002", "b.g", "two")
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        _ToolBaseline.from_findings([self.F1, self.F2]).write(str(path))
+        doc = json.loads(path.read_text())
+        assert doc["version"] == 1
+        assert len(doc["fingerprints"]) == 2
+        loaded = _ToolBaseline.load(str(path))
+        new, baselined = loaded.split([self.F1, self.F2])
+        assert new == [] and len(baselined) == 2
+
+    def test_split_keeps_unknown_findings(self):
+        baseline = _ToolBaseline.from_findings([self.F1])
+        new, baselined = baseline.split([self.F1, self.F2])
+        assert new == [self.F2]
+        assert baselined == [self.F1]
+
+    def test_format_is_tool_agnostic(self, tmp_path):
+        # Byte-compatibility promise: baselines written before the
+        # extraction (no "tool" field, or another tool's) still load.
+        path = tmp_path / "other.json"
+        path.write_text('{"version": 1, "fingerprints": {"abc": "src/a.py:X:f"}}')
+        loaded = _ToolBaseline.load(str(path))
+        assert loaded.fingerprints == {"abc": "src/a.py:X:f"}
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "vnext.json"
+        path.write_text('{"tool": "faketool", "version": 99, "fingerprints": {}}')
+        with pytest.raises(ValueError):
+            _ToolBaseline.load(str(path))
+
+
+class TestCliHelpers:
+    def test_exit_codes(self):
+        assert (EXIT_CLEAN, EXIT_FINDINGS, EXIT_ERROR) == (0, 1, 2)
+
+    def test_parse_select(self):
+        assert parse_select(None) is None
+        assert parse_select("") is None
+        assert parse_select("X001") == ("X001",)
+        assert parse_select(" X001 , X002 ") == ("X001", "X002")
+
+    def test_selected_by_prefix(self):
+        assert selected_by_prefix("X001", None)
+        assert selected_by_prefix("X001", ("X",))
+        assert selected_by_prefix("X001", ("X001",))
+        assert not selected_by_prefix("X001", ("Y",))

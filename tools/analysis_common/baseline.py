@@ -1,0 +1,90 @@
+"""Content-fingerprinted baseline files shared by the analyzers.
+
+A baseline is a JSON file of *fingerprints* for findings that are
+acknowledged but not yet fixed.  Fingerprints hash the file, rule,
+enclosing symbol, and message — not the line number — so unrelated
+edits to a file do not invalidate the baseline.  The on-disk format
+(``{"version": 1, "fingerprints": {...}}``) predates this module and
+must stay byte-compatible: reproflow baselines written before the
+extraction load unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Protocol
+
+__all__ = ["BaselineBase", "finding_fingerprint"]
+
+
+def finding_fingerprint(path: str, code: str, symbol: str, message: str) -> str:
+    """Line-number-independent identity used by baseline files."""
+    norm_path = path.replace("\\", "/")
+    raw = f"{norm_path}::{code}::{symbol}::{message}"
+    return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
+
+
+class _FindingLike(Protocol):
+    path: str
+    code: str
+    symbol: str
+
+    def fingerprint(self) -> str: ...
+
+
+@dataclass
+class BaselineBase:
+    """Acknowledged findings, keyed by fingerprint.
+
+    The value stored per fingerprint is a short human-readable locator
+    (``path:code:symbol``) so reviewers can audit the file without
+    recomputing hashes.  Subclasses bind ``TOOL`` for error messages;
+    the file format itself is tool-agnostic.
+    """
+
+    fingerprints: dict[str, str] = field(default_factory=dict)
+
+    VERSION = 1
+    TOOL = "analyzer"
+
+    @classmethod
+    def load(cls, path: str) -> Any:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        if not isinstance(doc, dict) or doc.get("version") != cls.VERSION:
+            raise ValueError(
+                f"{path}: not a {cls.TOOL} baseline (want version={cls.VERSION})"
+            )
+        fps = doc.get("fingerprints", {})
+        if not isinstance(fps, dict):
+            raise ValueError(f"{path}: 'fingerprints' must be an object")
+        return cls(fingerprints={str(k): str(v) for k, v in fps.items()})
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[_FindingLike]) -> Any:
+        fps = {
+            f.fingerprint(): f"{f.path.replace(chr(92), '/')}:{f.code}:{f.symbol}"
+            for f in findings
+        }
+        return cls(fingerprints=fps)
+
+    def write(self, path: str) -> None:
+        doc = {
+            "version": self.VERSION,
+            "fingerprints": dict(sorted(self.fingerprints.items())),
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    def split(
+        self, findings: list[Any]
+    ) -> tuple[list[Any], list[Any]]:
+        """Partition into (new, baselined) findings."""
+        new: list[Any] = []
+        old: list[Any] = []
+        for f in findings:
+            (old if f.fingerprint() in self.fingerprints else new).append(f)
+        return new, old

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from tools.analysis_common import selected_by_prefix
 from tools.reproflow.bytecode import check_tracked_bytecode
 from tools.reproflow.model import (
     RULES,
@@ -53,9 +54,7 @@ class AnalysisResult:
 
 
 def _selected(code: str, select: tuple[str, ...] | None) -> bool:
-    if not select:
-        return True
-    return any(code.startswith(prefix) for prefix in select)
+    return selected_by_prefix(code, select)
 
 
 def analyze_paths(

@@ -10,10 +10,14 @@ edits to a file do not invalidate the baseline.
 
 from __future__ import annotations
 
-import hashlib
-import json
-from dataclasses import dataclass, field
-from typing import Iterable
+from dataclasses import dataclass
+
+from tools.analysis_common import (
+    BaselineBase,
+    finding_fingerprint,
+    is_code_suppressed,
+    parse_suppressions,
+)
 
 __all__ = [
     "RULES",
@@ -55,9 +59,7 @@ class Finding:
 
     def fingerprint(self) -> str:
         """Line-number-independent identity used by baseline files."""
-        norm_path = self.path.replace("\\", "/")
-        raw = f"{norm_path}::{self.code}::{self.symbol}::{self.message}"
-        return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
+        return finding_fingerprint(self.path, self.code, self.symbol, self.message)
 
     def to_json(self) -> dict[str, object]:
         return {
@@ -72,7 +74,7 @@ class Finding:
 
 
 # ----------------------------------------------------------------------
-# pragma suppression (same grammar as reprolint, different prefix)
+# pragma suppression (shared grammar, reproflow prefix)
 # ----------------------------------------------------------------------
 def suppressions(source: str) -> tuple[dict[int, set[str]], set[str]]:
     """Per-line and file-level ``# reproflow: disable`` pragmas.
@@ -81,86 +83,23 @@ def suppressions(source: str) -> tuple[dict[int, set[str]], set[str]]:
     ``# reproflow: disable-file=U003`` within the first ten lines
     suppresses for the whole file; ``disable=all`` matches every code.
     """
-    per_line: dict[int, set[str]] = {}
-    per_file: set[str] = set()
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        if "# reproflow:" not in line:
-            continue
-        _, _, tail = line.partition("# reproflow:")
-        for clause in tail.strip().split():
-            if clause.startswith("disable-file="):
-                if lineno <= 10:
-                    codes = clause.removeprefix("disable-file=")
-                    per_file.update(c.strip() for c in codes.split(",") if c.strip())
-            elif clause.startswith("disable="):
-                codes = clause.removeprefix("disable=")
-                per_line.setdefault(lineno, set()).update(
-                    c.strip() for c in codes.split(",") if c.strip()
-                )
-    return per_line, per_file
+    return parse_suppressions(source, "reproflow")
 
 
 def is_suppressed(
     finding: Finding, per_line: dict[int, set[str]], per_file: set[str]
 ) -> bool:
-    for codes in (per_file, per_line.get(finding.line, set())):
-        if "all" in codes or finding.code in codes:
-            return True
-    return False
+    return is_code_suppressed(finding.code, finding.line, per_line, per_file)
 
 
 # ----------------------------------------------------------------------
 # baseline files
 # ----------------------------------------------------------------------
-@dataclass
-class Baseline:
-    """Acknowledged findings, keyed by fingerprint.
+class Baseline(BaselineBase):
+    """Acknowledged reproflow findings, keyed by fingerprint.
 
-    The value stored per fingerprint is a short human-readable locator
-    (``path:code:symbol``) so reviewers can audit the file without
-    recomputing hashes.
+    Format and semantics live in :class:`tools.analysis_common.BaselineBase`;
+    only the tool identity (used in load-error messages) is bound here.
     """
 
-    fingerprints: dict[str, str] = field(default_factory=dict)
-
-    VERSION = 1
-
-    @classmethod
-    def load(cls, path: str) -> "Baseline":
-        with open(path, encoding="utf-8") as fh:
-            doc = json.load(fh)
-        if not isinstance(doc, dict) or doc.get("version") != cls.VERSION:
-            raise ValueError(
-                f"{path}: not a reproflow baseline (want version={cls.VERSION})"
-            )
-        fps = doc.get("fingerprints", {})
-        if not isinstance(fps, dict):
-            raise ValueError(f"{path}: 'fingerprints' must be an object")
-        return cls(fingerprints={str(k): str(v) for k, v in fps.items()})
-
-    @classmethod
-    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
-        fps = {
-            f.fingerprint(): f"{f.path.replace(chr(92), '/')}:{f.code}:{f.symbol}"
-            for f in findings
-        }
-        return cls(fingerprints=fps)
-
-    def write(self, path: str) -> None:
-        doc = {
-            "version": self.VERSION,
-            "fingerprints": dict(sorted(self.fingerprints.items())),
-        }
-        with open(path, "w", encoding="utf-8") as fh:
-            json.dump(doc, fh, indent=2, sort_keys=True)
-            fh.write("\n")
-
-    def split(
-        self, findings: list[Finding]
-    ) -> tuple[list[Finding], list[Finding]]:
-        """Partition into (new, baselined) findings."""
-        new: list[Finding] = []
-        old: list[Finding] = []
-        for f in findings:
-            (old if f.fingerprint() in self.fingerprints else new).append(f)
-        return new, old
+    TOOL = "reproflow"

@@ -5,6 +5,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from tools.analysis_common import EXIT_CLEAN, EXIT_FINDINGS, parse_select
 from tools.reprolint import RULES, lint_paths
 
 
@@ -27,18 +28,17 @@ def main(argv: list[str] | None = None) -> int:
     if args.list_rules:
         for code, desc in sorted(RULES.items()):
             print(f"{code}  {desc}")
-        return 0
+        return EXIT_CLEAN
     if not args.paths:
         parser.error("no paths given (try: python -m tools.reprolint src/)")
 
-    select = [c.strip() for c in args.select.split(",")] if args.select else None
-    violations = lint_paths(args.paths, select=select)
+    violations = lint_paths(args.paths, select=parse_select(args.select))
     for v in violations:
         print(v.render())
     if violations:
         print(f"reprolint: {len(violations)} violation(s)", file=sys.stderr)
-        return 1
-    return 0
+        return EXIT_FINDINGS
+    return EXIT_CLEAN
 
 
 if __name__ == "__main__":

@@ -29,6 +29,8 @@ import ast
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
+from tools.analysis_common import is_code_suppressed, parse_suppressions
+
 __all__ = [
     "Violation",
     "RULES",
@@ -351,31 +353,11 @@ class _Linter(ast.NodeVisitor):
 
 def _suppressions(source: str) -> tuple[dict[int, set[str]], set[str]]:
     """Per-line and file-level ``# reprolint: disable`` pragmas."""
-    per_line: dict[int, set[str]] = {}
-    per_file: set[str] = set()
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        if "# reprolint:" not in line:
-            continue
-        _, _, tail = line.partition("# reprolint:")
-        tail = tail.strip()
-        for clause in tail.split():
-            if clause.startswith("disable-file="):
-                codes = clause.removeprefix("disable-file=")
-                if lineno <= 10:
-                    per_file.update(c.strip() for c in codes.split(",") if c.strip())
-            elif clause.startswith("disable="):
-                codes = clause.removeprefix("disable=")
-                per_line.setdefault(lineno, set()).update(
-                    c.strip() for c in codes.split(",") if c.strip()
-                )
-    return per_line, per_file
+    return parse_suppressions(source, "reprolint")
 
 
 def _suppressed(v: Violation, per_line: dict[int, set[str]], per_file: set[str]) -> bool:
-    for codes in (per_file, per_line.get(v.line, set())):
-        if "all" in codes or v.code in codes:
-            return True
-    return False
+    return is_code_suppressed(v.code, v.line, per_line, per_file)
 
 
 def lint_source(

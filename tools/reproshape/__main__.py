@@ -1,4 +1,4 @@
-"""CLI entry point: ``python -m tools.reproflow [paths...]``.
+"""CLI entry point: ``python -m tools.reproshape [paths...]``.
 
 Exit codes: 0 clean (baselined findings allowed), 1 new findings,
 2 usage / parse errors.
@@ -16,16 +16,16 @@ from tools.analysis_common import (
     EXIT_FINDINGS,
     parse_select,
 )
-from tools.reproflow import RULES, analyze_paths, build_report
-from tools.reproflow.model import Baseline
+from tools.reproshape import RULES, analyze_paths, build_report
+from tools.reproshape.model import Baseline
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
-        prog="reproflow",
+        prog="reproshape",
         description=(
-            "cross-module units-and-purity dataflow analyzer for the "
-            "multiscatter reproduction"
+            "whole-program symbolic shape/dtype verifier over the "
+            "contracts DSL for the multiscatter reproduction"
         ),
     )
     parser.add_argument(
@@ -43,7 +43,7 @@ def main(argv: list[str] | None = None) -> int:
         "--format",
         choices=("text", "json"),
         default="text",
-        help="output format (json includes the annotated call graph)",
+        help="output format (json includes the per-function shape table)",
     )
     parser.add_argument(
         "--baseline",
@@ -55,16 +55,6 @@ def main(argv: list[str] | None = None) -> int:
         metavar="FILE",
         help="write current findings as a new baseline and exit 0",
     )
-    parser.add_argument(
-        "--no-bytecode-check",
-        action="store_true",
-        help="skip the B001/B002 tracked-artifact repo guards",
-    )
-    parser.add_argument(
-        "--repo-root",
-        default=".",
-        help="repository root for the B001/B002 guards (default: cwd)",
-    )
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -72,23 +62,18 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{code}  {desc}")
         return EXIT_CLEAN
     if not args.paths:
-        parser.error("no paths given (try: python -m tools.reproflow src/repro)")
+        parser.error("no paths given (try: python -m tools.reproshape src/repro)")
 
-    select = parse_select(args.select)
     baseline = None
     if args.baseline:
         try:
             baseline = Baseline.load(args.baseline)
         except (OSError, ValueError, json.JSONDecodeError) as exc:
-            print(f"reproflow: cannot load baseline: {exc}", file=sys.stderr)
+            print(f"reproshape: cannot load baseline: {exc}", file=sys.stderr)
             return EXIT_ERROR
 
     result = analyze_paths(
-        args.paths,
-        select=select,
-        baseline=baseline,
-        check_bytecode=not args.no_bytecode_check,
-        repo_root=args.repo_root,
+        args.paths, select=parse_select(args.select), baseline=baseline
     )
 
     for path, line, msg in result.errors:
@@ -99,7 +84,7 @@ def main(argv: list[str] | None = None) -> int:
             args.write_baseline
         )
         print(
-            f"reproflow: wrote {len(result.findings) + len(result.baselined)} "
+            f"reproshape: wrote {len(result.findings) + len(result.baselined)} "
             f"fingerprint(s) to {args.write_baseline}",
             file=sys.stderr,
         )
@@ -113,7 +98,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f.render())
         if result.baselined:
             print(
-                f"reproflow: {len(result.baselined)} baselined finding(s) "
+                f"reproshape: {len(result.baselined)} baselined finding(s) "
                 "suppressed",
                 file=sys.stderr,
             )
@@ -123,7 +108,7 @@ def main(argv: list[str] | None = None) -> int:
     if result.findings:
         if args.format == "text":
             print(
-                f"reproflow: {len(result.findings)} finding(s)", file=sys.stderr
+                f"reproshape: {len(result.findings)} finding(s)", file=sys.stderr
             )
         return EXIT_FINDINGS
     return EXIT_CLEAN

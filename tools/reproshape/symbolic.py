@@ -1,0 +1,280 @@
+"""Symbolic dimension algebra for the contracts shape DSL.
+
+A dimension is represented as a multivariate polynomial over *atoms*
+with integer coefficients, in canonical form: a mapping from monomial
+(sorted ``(atom, power)`` pairs) to coefficient.  Atoms are contract
+symbols (``n``, ``b``) plus opaque composites minted for operations
+that leave the polynomial ring (``n//4`` when 4 does not divide every
+coefficient, ``n % k``, symbolic exponents).  Two dims built from the
+same expression therefore always canonicalize identically, and
+arithmetic identities (``n*8 + n*3 == n*11``) hold by construction.
+
+Decidability contract: every atom is assumed to be an integer ``>= 1``
+(array dimensions; zero-length edge cases are the runtime checker's
+business).  Under that assumption a difference polynomial whose
+nonzero coefficients all share one sign is provably nonzero, which is
+what :meth:`SymDim.provably_ne` exploits.  Everything else is
+"unknown" and the analyzer stays silent — a static verifier must
+under-approximate, never guess.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.core.contracts import DIM_WILDCARD, dim_kind, parse_dim_expr
+
+__all__ = ["SymDim", "SymShape", "sym_from_dim", "render_shape", "unify_dims"]
+
+#: canonical monomial: sorted ((atom, power), ...); () is the constant term
+_Monomial = tuple[tuple[str, int], ...]
+
+
+def _clean(terms: dict[_Monomial, int]) -> dict[_Monomial, int]:
+    return {m: c for m, c in terms.items() if c != 0}
+
+
+@dataclass(frozen=True)
+class SymDim:
+    """One symbolic dimension in canonical polynomial form."""
+
+    #: monomial -> integer coefficient (no zero coefficients stored)
+    terms: tuple[tuple[_Monomial, int], ...]
+
+    # ------------------------------------------------------ constructors
+    @classmethod
+    def _from_dict(cls, terms: dict[_Monomial, int]) -> "SymDim":
+        cleaned = _clean(terms)
+        return cls(terms=tuple(sorted(cleaned.items())))
+
+    @classmethod
+    def const(cls, value: int) -> "SymDim":
+        return cls._from_dict({(): int(value)})
+
+    @classmethod
+    def atom(cls, name: str) -> "SymDim":
+        return cls._from_dict({((name, 1),): 1})
+
+    # --------------------------------------------------------- predicates
+    def _dict(self) -> dict[_Monomial, int]:
+        return dict(self.terms)
+
+    @property
+    def is_const(self) -> bool:
+        return all(m == () for m, _ in self.terms)
+
+    @property
+    def const_value(self) -> int:
+        """Constant value (0 for the empty polynomial); only meaningful
+        when :attr:`is_const` holds."""
+        return dict(self.terms).get((), 0)
+
+    def atoms(self) -> set[str]:
+        return {name for m, _ in self.terms for name, _power in m}
+
+    # --------------------------------------------------------- arithmetic
+    def __add__(self, other: "SymDim") -> "SymDim":
+        out = self._dict()
+        for m, c in other.terms:
+            out[m] = out.get(m, 0) + c
+        return SymDim._from_dict(out)
+
+    def __sub__(self, other: "SymDim") -> "SymDim":
+        out = self._dict()
+        for m, c in other.terms:
+            out[m] = out.get(m, 0) - c
+        return SymDim._from_dict(out)
+
+    def __neg__(self) -> "SymDim":
+        return SymDim._from_dict({m: -c for m, c in self.terms})
+
+    def __mul__(self, other: "SymDim") -> "SymDim":
+        out: dict[_Monomial, int] = {}
+        for m1, c1 in self.terms:
+            for m2, c2 in other.terms:
+                powers: dict[str, int] = {}
+                for name, p in (*m1, *m2):
+                    powers[name] = powers.get(name, 0) + p
+                mono: _Monomial = tuple(sorted(powers.items()))
+                out[mono] = out.get(mono, 0) + c1 * c2
+        return SymDim._from_dict(out)
+
+    def _opaque(self, op: str, other: "SymDim") -> "SymDim":
+        return SymDim.atom(f"({self}){op}({other})")
+
+    def floordiv(self, other: "SymDim") -> "SymDim":
+        if not self.terms:
+            return self  # 0 // x == 0
+        if other.is_const and other.const_value != 0:
+            c = other.const_value
+            if all(coeff % c == 0 for _, coeff in self.terms):
+                return SymDim._from_dict({m: coeff // c for m, coeff in self.terms})
+        if self.is_const and other.is_const and other.const_value != 0:
+            return SymDim.const(self.const_value // other.const_value)
+        return self._opaque("//", other)
+
+    def mod(self, other: "SymDim") -> "SymDim":
+        if not self.terms:
+            return self
+        if self.is_const and other.is_const and other.const_value != 0:
+            return SymDim.const(self.const_value % other.const_value)
+        return self._opaque("%", other)
+
+    def pow(self, other: "SymDim") -> "SymDim":
+        if other.is_const and other.const_value >= 0:
+            result = SymDim.const(1)
+            for _ in range(other.const_value):
+                result = result * self
+            return result
+        return self._opaque("**", other)
+
+    # ------------------------------------------------------- decidability
+    def provably_eq(self, other: "SymDim") -> bool:
+        return not (self - other).terms
+
+    def provably_ne(self, other: "SymDim") -> bool:
+        """Nonzero for *every* assignment of integers >= 1 to atoms.
+
+        True iff the difference polynomial is nonempty and all its
+        coefficients share one sign: each monomial then contributes at
+        least ``|coeff|`` in that direction.
+        """
+        diff = (self - other).terms
+        if not diff:
+            return False
+        signs = {c > 0 for _, c in diff}
+        return len(signs) == 1
+
+    # -------------------------------------------------------- operations
+    def subst(self, mapping: Mapping[str, "SymDim"]) -> "SymDim":
+        """Replace atoms with dims; unmapped atoms stay symbolic."""
+        result = SymDim.const(0)
+        for m, c in self.terms:
+            term = SymDim.const(c)
+            for name, power in m:
+                base = mapping.get(name, SymDim.atom(name))
+                term = term * base.pow(SymDim.const(power))
+            result = result + term
+        return result
+
+    def __str__(self) -> str:
+        if not self.terms:
+            return "0"
+        parts: list[str] = []
+        for m, c in self.terms:
+            factors = [
+                name if p == 1 else f"{name}**{p}" for name, p in m
+            ]
+            if not factors:
+                text = str(abs(c))
+            elif abs(c) == 1:
+                text = "*".join(factors)
+            else:
+                text = "*".join([str(abs(c)), *factors])
+            parts.append(("-" if c < 0 else "+") + text)
+        joined = "".join(parts)
+        return joined[1:] if joined.startswith("+") else joined
+
+
+#: A symbolic array shape; ``None`` entries are wildcard/unknown dims.
+SymShape = tuple["SymDim | None", ...]
+
+
+def render_shape(shape: SymShape | None) -> str:
+    """``(n, 64)``-style display form, ``?`` for unknown dims."""
+    if shape is None:
+        return "?"
+    inner = ", ".join("?" if d is None else str(d) for d in shape)
+    return f"({inner},)" if len(shape) == 1 else f"({inner})"
+
+
+def _fold(node: ast.expr, binder: Callable[[str], "SymDim | None"]) -> SymDim | None:
+    if isinstance(node, ast.Constant):
+        return SymDim.const(node.value)
+    if isinstance(node, ast.Name):
+        return binder(node.id)
+    if isinstance(node, ast.UnaryOp):
+        value = _fold(node.operand, binder)
+        if value is None:
+            return None
+        return -value if isinstance(node.op, ast.USub) else value
+    assert isinstance(node, ast.BinOp)
+    left, right = _fold(node.left, binder), _fold(node.right, binder)
+    if left is None or right is None:
+        return None
+    if isinstance(node.op, ast.Add):
+        return left + right
+    if isinstance(node.op, ast.Sub):
+        return left - right
+    if isinstance(node.op, ast.Mult):
+        return left * right
+    if isinstance(node.op, ast.FloorDiv):
+        return left.floordiv(right)
+    if isinstance(node.op, ast.Div):
+        # The runtime truncates at the end of evaluation; symbolically we
+        # only keep exact divisions and go opaque otherwise, which is the
+        # same answer whenever the runtime check would have been exact.
+        return left.floordiv(right)
+    if isinstance(node.op, ast.Mod):
+        return left.mod(right)
+    assert isinstance(node.op, ast.Pow)
+    return left.pow(right)
+
+
+def sym_from_dim(
+    dim: str, binder: Callable[[str], "SymDim | None"]
+) -> SymDim | None:
+    """Interpret one DSL dim token symbolically.
+
+    ``binder`` maps a symbol name to its dim (typically
+    ``SymDim.atom`` for a function's own contract, or a unification
+    binding at a call site); returning ``None`` from the binder makes
+    the whole dim unknown.  Wildcards are always unknown.
+    """
+    kind = dim_kind(dim)
+    if kind == "wildcard" or dim == DIM_WILDCARD:
+        return None
+    if kind == "literal":
+        return SymDim.const(int(dim))
+    if kind == "symbol":
+        return binder(dim)
+    return _fold(parse_dim_expr(dim).body, binder)
+
+
+def unify_dims(
+    spec_dims: tuple[str, ...],
+    actual: SymShape,
+    binding: dict[str, SymDim],
+) -> str | None:
+    """Match one callee arg spec against a caller's symbolic shape.
+
+    Symbols bind on first sight into ``binding`` (shared across the
+    call's arg specs, exactly like the runtime checker); literals and
+    already-bound symbols/expressions must not be *provably* unequal.
+    Returns a human-readable mismatch description, or ``None`` if the
+    shapes are compatible (or undecidable, which counts as compatible
+    for a conservative analyzer).
+    """
+    if len(spec_dims) != len(actual):
+        return (
+            f"rank mismatch: contract expects {len(spec_dims)}-D "
+            f"({','.join(spec_dims)}), got {len(actual)}-D "
+            f"{render_shape(actual)}"
+        )
+    for i, (dim, have) in enumerate(zip(spec_dims, actual)):
+        if have is None or dim_kind(dim) == "wildcard":
+            continue
+        if dim_kind(dim) == "symbol" and dim not in binding:
+            binding[dim] = have
+            continue
+        want = sym_from_dim(dim, binding.get)
+        if want is None:
+            continue
+        if want.provably_ne(have):
+            return (
+                f"axis {i}: contract dim {dim!r} = {want} "
+                f"!= actual {have}"
+            )
+    return None
