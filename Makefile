@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast smoke crash-test bench bench-primitives bench-tables perf-report examples lint analyze typecheck check clean
+.PHONY: install test test-fast smoke serve-smoke crash-test bench bench-primitives bench-gateway bench-tables perf-report examples lint analyze typecheck check clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -46,6 +46,12 @@ smoke:
 	REPRO_WORKERS=2 $(PYTHON) -m repro run-all --preset quick --out runs/smoke
 	$(PYTHON) tools/check_artifacts.py runs/smoke --expect-all
 
+# Streaming gateway smoke: 8 tags, 2 subscribers, block policy; fails
+# on any drop, eviction, or unclean drain (the CI gateway smoke step).
+serve-smoke:
+	$(PYTHON) -m repro serve --tags 8 --subscribers 2 --max-packets 32 \
+		--policy block --require-clean
+
 # Crash a run mid-save with the fault-injection harness, resume it,
 # and require byte-identity with an undisturbed run
 # (docs/ROBUSTNESS.md; this is the CI crash/resume guard).
@@ -59,9 +65,15 @@ crash-test:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-# Kernel benchmarks + regression gate; updates BENCH_primitives.json.
+# Kernel + e2e + gateway benchmarks with their regression gates;
+# updates the committed BENCH_*.json baselines.
 bench-primitives:
 	$(PYTHON) benchmarks/run_benchmarks.py
+
+# Gateway load sweep alone: concurrent tags vs p99 decode latency
+# (prints the BENCH_gateway.json payload without touching baselines).
+bench-gateway:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_gateway.py
 
 # Timers/counters/cache hit-rates of one representative experiment.
 perf-report:

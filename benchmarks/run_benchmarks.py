@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Run the benchmarks and maintain ``BENCH_primitives.json`` / ``BENCH_e2e.json``.
+"""Run the benchmarks and maintain the committed ``BENCH_*.json`` baselines.
 
 Runs ``benchmarks/bench_primitives.py`` under pytest-benchmark,
 extracts per-test mean times, pairs the frozen seed kernels with their
@@ -14,6 +14,12 @@ writes ``BENCH_e2e.json``.  Two gates apply to it:
   (default 3x) times as many packets/sec as the per-packet loop;
 * the batched mean time must not regress beyond
   ``--regression-factor`` against the committed baseline.
+
+It then runs ``benchmarks/bench_gateway.py`` -- the streaming-gateway
+load sweep (concurrent tags vs p99 decode latency) -- and writes
+``BENCH_gateway.json``.  Its gate: the recorded ``tags_per_core``
+capacity must not shrink against the committed baseline, and no sweep
+point's p99 latency may regress beyond ``--regression-factor``.
 
 If a committed baseline already exists, every fresh mean time is
 compared against it first: a slowdown beyond ``--regression-factor``
@@ -41,6 +47,8 @@ BENCH_FILE = REPO_ROOT / "benchmarks" / "bench_primitives.py"
 OUTPUT = REPO_ROOT / "BENCH_primitives.json"
 E2E_BENCH_FILE = REPO_ROOT / "benchmarks" / "bench_e2e_throughput.py"
 E2E_OUTPUT = REPO_ROOT / "BENCH_e2e.json"
+GATEWAY_BENCH_FILE = REPO_ROOT / "benchmarks" / "bench_gateway.py"
+GATEWAY_OUTPUT = REPO_ROOT / "BENCH_gateway.json"
 E2E_SCALAR = "test_e2e_decode_per_packet"
 E2E_BATCHED = "test_e2e_decode_batched"
 
@@ -148,19 +156,7 @@ def _check_regressions(
 
 def _e2e_total_packets() -> int:
     """``TOTAL_PACKETS`` from the e2e bench module (single source of truth)."""
-    import importlib.util
-
-    sys.path.insert(0, str(REPO_ROOT / "src"))
-    try:
-        spec = importlib.util.spec_from_file_location(
-            "bench_e2e_throughput", E2E_BENCH_FILE
-        )
-        assert spec is not None and spec.loader is not None
-        module = importlib.util.module_from_spec(spec)
-        spec.loader.exec_module(module)
-    finally:
-        sys.path.pop(0)
-    return int(module.TOTAL_PACKETS)
+    return int(_load_module("bench_e2e_throughput", E2E_BENCH_FILE).TOTAL_PACKETS)
 
 
 def _check_e2e(
@@ -208,6 +204,57 @@ def _check_e2e(
                     f"{base['min_s'] * 1e3:.1f} ms ({ratio:.2f}x slower)"
                 )
     return summary, failures
+
+
+def _load_module(name: str, path: Path):
+    import importlib.util
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        spec = importlib.util.spec_from_file_location(name, path)
+        assert spec is not None and spec.loader is not None
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+    finally:
+        sys.path.pop(0)
+    return module
+
+
+def _run_gateway_sweep() -> dict[str, object]:
+    module = _load_module("bench_gateway", GATEWAY_BENCH_FILE)
+    return module.run_sweep()
+
+
+def _check_gateway(
+    payload: dict[str, object], *, regression_factor: float
+) -> list[str]:
+    """Capacity must not shrink; per-point p99 must not blow up."""
+    if not GATEWAY_OUTPUT.exists():
+        return []
+    baseline = json.loads(GATEWAY_OUTPUT.read_text())
+    failures = []
+    base_capacity = int(baseline.get("tags_per_core", 0))
+    capacity = int(payload["tags_per_core"])
+    if capacity < base_capacity:
+        failures.append(
+            f"tags_per_core capacity shrank: {capacity} vs committed "
+            f"{base_capacity}"
+        )
+    base_points = {
+        int(p["n_tags"]): p for p in baseline.get("sweep", [])
+    }
+    for point in payload["sweep"]:  # type: ignore[union-attr]
+        base = base_points.get(int(point["n_tags"]))
+        if not base:
+            continue
+        ratio = point["p99_latency_s"] / base["p99_latency_s"]
+        if ratio > regression_factor:
+            failures.append(
+                f"gateway p99 at {point['n_tags']} tags: "
+                f"{point['p99_latency_s'] * 1e3:.1f} ms vs baseline "
+                f"{base['p99_latency_s'] * 1e3:.1f} ms ({ratio:.2f}x slower)"
+            )
+    return failures
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -282,6 +329,21 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {line}")
         return 1
 
+    gateway_payload = _run_gateway_sweep()
+    gateway_failures = _check_gateway(
+        gateway_payload, regression_factor=args.regression_factor
+    )
+    print(
+        "gateway capacity: "
+        f"{gateway_payload['tags_per_core']} tags/core within "
+        f"{float(gateway_payload['latency_budget_s']) * 1e3:.0f} ms p99 budget"
+    )
+    if gateway_failures:
+        print("GATEWAY GATE FAILURES (vs committed BENCH_gateway.json):")
+        for line in gateway_failures:
+            print(f"  {line}")
+        return 1
+
     if not args.check:
         OUTPUT.write_text(
             json.dumps(
@@ -315,6 +377,10 @@ def main(argv: list[str] | None = None) -> int:
             + "\n"
         )
         print(f"wrote {E2E_OUTPUT.relative_to(REPO_ROOT)}")
+        GATEWAY_OUTPUT.write_text(
+            json.dumps(gateway_payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {GATEWAY_OUTPUT.relative_to(REPO_ROOT)}")
     return 0
 
 

@@ -17,6 +17,10 @@ Gives the repository an adoption-grade front door:
   byte-identical to an uninterrupted run (docs/ROBUSTNESS.md)
 * ``python -m repro show runs/x/fig13_los.json`` -- re-render a saved
   artifact exactly as the live run printed it
+* ``python -m repro serve --tags 8 --duration 2``
+  -- host a live tag network: the streaming gateway
+  (:mod:`repro.gateway`) over generated excitation traffic, with a
+  drain-clean summary (docs/SERVICE.md)
 * ``python -m repro info``                  -- library and calibration
   summary
 """
@@ -254,6 +258,108 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    import numpy as np
+
+    from repro.gateway import (
+        AsyncExcitationSource,
+        Backpressure,
+        Gateway,
+        GatewayConfig,
+        GatewayStats,
+        Subscriber,
+    )
+    from repro.phy.protocols import Protocol
+    from repro.sim.traffic import ExcitationSource
+
+    seed = args.seed if args.seed is not None else 0
+    config = GatewayConfig(
+        seed=seed,
+        keepalive_timeout_s=args.keepalive_timeout,
+        queue_maxlen=args.queue_maxlen,
+        decode_batch=args.decode_batch,
+        drain_timeout_s=args.drain_timeout,
+    )
+    policy = Backpressure(args.policy)
+
+    async def _serve() -> tuple[GatewayStats, list[int]]:
+        gateway = Gateway(config)
+        sources = [
+            ExcitationSource(protocol=p, rate_pkts=args.rate, periodic=False)
+            for p in Protocol
+        ]
+        source = AsyncExcitationSource(
+            sources,
+            duration_s=args.duration,
+            rng=np.random.default_rng(seed),
+            time_scale=args.time_scale,
+            max_packets=args.max_packets,
+        )
+        loop = asyncio.get_running_loop()
+        try:
+            # Ctrl-C asks the air loop to finish the current packet
+            # and drain, instead of tearing the event loop down.
+            loop.add_signal_handler(signal.SIGINT, gateway.request_stop)
+        except NotImplementedError:  # pragma: no cover - non-POSIX loop
+            pass
+        for i in range(args.tags):
+            await gateway.register_tag(f"tag-{i:03d}")
+        delivered = [0] * args.subscribers
+
+        async def _consume(index: int, sub: Subscriber) -> None:
+            try:
+                async for _event in sub:
+                    delivered[index] += 1
+            except Exception:  # noqa: BLE001 -- end of stream
+                pass
+
+        consumers = [
+            asyncio.ensure_future(_consume(j, gateway.subscribe(f"sub-{j}", policy=policy)))
+            for j in range(args.subscribers)
+        ]
+        await gateway.assign_carrier(
+            source.observed_rates(), goal_kbps=args.goal_kbps
+        )
+        stats = await gateway.serve(source)
+        await asyncio.gather(*consumers, return_exceptions=True)
+        return stats, delivered
+
+    stats, delivered = asyncio.run(_serve())
+    p50_ms = stats.latency_percentile_s(50) * 1e3
+    p99_ms = stats.latency_percentile_s(99) * 1e3
+    print(
+        f"gateway: {args.tags} tag(s), {args.subscribers} subscriber(s), "
+        f"policy {policy.value}"
+    )
+    print(
+        f"  packets {stats.n_packets}  backscattered {stats.n_backscattered}  "
+        f"collisions {stats.n_collisions}"
+    )
+    print(
+        f"  decode latency p50 {p50_ms:.2f} ms  p99 {p99_ms:.2f} ms  "
+        f"throughput {stats.packets_per_s():.1f} pkt/s"
+    )
+    print(f"  delivered per subscriber: {delivered}")
+    print(
+        f"  drops {stats.n_dropped_events}  tag evictions "
+        f"{stats.n_tag_evictions}  subscriber evictions "
+        f"{stats.n_subscriber_evictions}"
+    )
+    print(f"  drained clean: {stats.drained_clean}")
+    if args.require_clean and (
+        not stats.drained_clean
+        or stats.n_dropped_events
+        or stats.n_tag_evictions
+        or stats.n_subscriber_evictions
+    ):
+        print("serve: --require-clean violated", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_show(path: str) -> int:
     from repro.experiments.artifacts import ArtifactError, ExperimentResult
 
@@ -319,6 +425,65 @@ def main(argv: list[str] | None = None) -> int:
     )
     show_p = sub.add_parser("show", help="re-render a saved artifact")
     show_p.add_argument("artifact", help="path to an artifact .json")
+    serve_p = sub.add_parser(
+        "serve", help="host a live tag network (streaming gateway)"
+    )
+    serve_p.add_argument(
+        "--tags", type=int, default=8, metavar="N", help="concurrent tags (default 8)"
+    )
+    serve_p.add_argument(
+        "--subscribers", type=int, default=1, metavar="M",
+        help="event-stream subscribers (default 1)",
+    )
+    serve_p.add_argument(
+        "--duration", type=float, default=2.0, metavar="S",
+        help="excitation schedule length in seconds (default 2.0)",
+    )
+    serve_p.add_argument(
+        "--rate", type=float, default=100.0, metavar="PKTS",
+        help="per-protocol excitation packet rate (default 100/s)",
+    )
+    serve_p.add_argument(
+        "--max-packets", type=int, default=None, metavar="N",
+        help="stop after N excitation packets",
+    )
+    serve_p.add_argument(
+        "--seed", type=int, default=None, metavar="N",
+        help="gateway + traffic seed (default 0)",
+    )
+    serve_p.add_argument(
+        "--policy", choices=("block", "drop_oldest", "disconnect"),
+        default="block", help="subscriber backpressure policy (default block)",
+    )
+    serve_p.add_argument(
+        "--queue-maxlen", type=int, default=64, metavar="N",
+        help="subscriber queue bound (default 64)",
+    )
+    serve_p.add_argument(
+        "--decode-batch", type=int, default=1, metavar="N",
+        help="pending receptions per grouped decode dispatch (default 1)",
+    )
+    serve_p.add_argument(
+        "--time-scale", type=float, default=0.0, metavar="X",
+        help="wall seconds per schedule second (0 = fast-forward, 1 = real time)",
+    )
+    serve_p.add_argument(
+        "--goal-kbps", type=float, default=0.0, metavar="KBPS",
+        help="application goodput goal for carrier assignment (default 0)",
+    )
+    serve_p.add_argument(
+        "--keepalive-timeout", type=float, default=5.0, metavar="S",
+        help="evict tags silent for S seconds (default 5)",
+    )
+    serve_p.add_argument(
+        "--drain-timeout", type=float, default=5.0, metavar="S",
+        help="shutdown grace for subscriber backlogs (default 5)",
+    )
+    serve_p.add_argument(
+        "--require-clean", action="store_true",
+        help="exit 1 unless the run drained cleanly with zero drops "
+        "and zero evictions (CI smoke mode)",
+    )
 
     args = parser.parse_args(argv)
     if getattr(args, "workers", None) is not None:
@@ -331,6 +496,14 @@ def main(argv: list[str] | None = None) -> int:
             return 2
         # Publish through the shared knob so every module sees it.
         os.environ["REPRO_WORKERS"] = str(args.workers)
+    if getattr(args, "seed", None) is not None:
+        from repro.sim.runner import validate_bounds
+
+        try:
+            validate_bounds(seed=args.seed, where="--seed")
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
     if args.command == "list":
         return _cmd_list()
     if args.command == "info":
@@ -339,6 +512,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "run-all":
         return _cmd_run_all(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "show":
         return _cmd_show(args.artifact)
     parser.print_help()

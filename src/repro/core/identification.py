@@ -23,7 +23,7 @@ from repro.core.matching import (
     score_capture,
 )
 from repro.core.rectifier import ClampRectifier, _EnvelopeRectifier
-from repro.core.templates import BASE_WINDOW_US, TemplateBank
+from repro.core.templates import BASE_WINDOW_US, cached_bank
 from repro.phy.protocols import Protocol
 from repro.phy.waveform import Waveform
 from repro.rng import fallback_rng
@@ -104,7 +104,12 @@ class ProtocolIdentifier:
         self.adc = Adc(
             sample_rate=self.config.sample_rate_hz, n_bits=self.config.n_bits
         )
-        self.bank = TemplateBank.build(
+        # Template derivation ignores the live rectifier (banks are
+        # always built through a noiseless clamp front end), so the
+        # bank depends only on the ADC + window configuration and is
+        # shared through the wavecache instead of re-derived per
+        # identifier -- see :func:`repro.core.templates.cached_bank`.
+        self.bank = cached_bank(
             self.adc,
             window_us=self.config.window_us,
             preprocess_us=self.config.preprocess_us,

@@ -32,6 +32,7 @@ from repro.types import Bits, Microseconds, Samples
 __all__ = [
     "Template",
     "TemplateBank",
+    "cached_bank",
     "reference_waveform",
     "BASE_WINDOW_US",
     "EXTENDED_WINDOW_US",
@@ -196,3 +197,57 @@ class TemplateBank:
     def total_storage_bits(self) -> Bits:
         """Template storage on the tag (§2.3 note 2)."""
         return sum(t.storage_bits for t in self.templates.values())
+
+
+#: Memoizes built template banks for the default (noiseless clamp
+#: rectifier) derivation path, keyed by every input that shapes the
+#: templates.  Banks are deterministic and treated as read-only by
+#: their consumers (the matcher only reads them), so one instance can
+#: back any number of identifiers.
+_BANK_CACHE = LruCache(maxsize=16, name="core.templates.bank")
+
+
+def cached_bank(
+    adc: Adc,
+    *,
+    window_us: float = BASE_WINDOW_US,
+    preprocess_us: float = 2.0,
+    incident_power_dbm: float = -15.0,
+    protocols: tuple[Protocol, ...] = tuple(Protocol),
+) -> TemplateBank:
+    """A shared, memoized :meth:`TemplateBank.build` for the default
+    derivation path.
+
+    Every :class:`~repro.core.identification.ProtocolIdentifier` (and
+    therefore every ``MultiscatterTag``) needs a template bank, and
+    building one renders four reference packets through the rectifier
+    and ADC.  Batch sweeps and the gateway hot loop construct tags by
+    the hundred, so the bank is hoisted behind a
+    :class:`~repro.core.wavecache.LruCache`: the key covers the ADC
+    configuration and every derivation parameter, and the build itself
+    is fully deterministic (noiseless rectifier), so a hit can never
+    alias two distinct banks.  Callers that need a bespoke rectifier
+    must call :meth:`TemplateBank.build` directly.
+    """
+    key = (
+        float(adc.sample_rate),
+        int(adc.n_bits),
+        float(adc.v_ref),
+        bool(adc.antialias),
+        float(window_us),
+        float(preprocess_us),
+        float(incident_power_dbm),
+        protocols,
+    )
+    bank = _BANK_CACHE.get_or_create(
+        key,
+        lambda: TemplateBank.build(
+            adc,
+            window_us=window_us,
+            preprocess_us=preprocess_us,
+            incident_power_dbm=incident_power_dbm,
+            protocols=protocols,
+        ),
+    )
+    assert isinstance(bank, TemplateBank)
+    return bank

@@ -1,0 +1,55 @@
+"""Events published on the gateway's data and control planes.
+
+Data-plane traffic is :class:`PacketEvent` -- one per decoded (or
+attempted) excitation packet, carrying the full
+:class:`~repro.sim.pipeline.PacketOutcome`.  Control-plane traffic is
+:class:`ControlEvent` -- registrations, evictions, carrier
+assignments, drain notices.  Both are frozen so a slow subscriber can
+never mutate what a fast one already consumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.phy.protocols import Protocol
+from repro.sim.pipeline import PacketOutcome
+
+__all__ = ["PacketEvent", "ControlEvent", "GatewayEvent"]
+
+
+@dataclass(frozen=True)
+class PacketEvent:
+    """One excitation packet's journey through the pipeline.
+
+    ``time_s`` is the scheduled (simulation) start of the excitation;
+    ``decode_latency_s`` is the wall-clock cost of the signal path for
+    this packet (the quantity the gateway load test holds against a
+    symbol period).
+    """
+
+    tag_id: str
+    seq: int
+    time_s: float
+    outcome: PacketOutcome
+    decode_latency_s: float
+
+
+@dataclass(frozen=True)
+class ControlEvent:
+    """A control-plane notification.
+
+    ``kind`` is one of ``registered``, ``deregistered``, ``evicted``,
+    ``subscriber_evicted``, ``carrier_assigned``, ``draining``,
+    ``drained``; ``detail`` is human-readable context (eviction
+    reason, assignment evidence).
+    """
+
+    kind: str
+    time_s: float
+    tag_id: str | None = None
+    protocol: Protocol | None = None
+    detail: str = ""
+
+
+GatewayEvent = PacketEvent | ControlEvent

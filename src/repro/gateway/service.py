@@ -1,0 +1,438 @@
+"""The live tag-network gateway service.
+
+Hosts a network of backscatter tags over streamed excitation packets:
+the **air loop** runs each scheduled excitation through the
+per-packet pipeline (:mod:`repro.sim.pipeline`) for the tag that wins
+MAC arbitration, and publishes the decoded outcome to every
+subscriber.  Around it:
+
+* the **control plane** (:mod:`repro.gateway.control`) owns
+  membership, keepalives and carrier assignment;
+* the **data plane** (:mod:`repro.gateway.subscriptions`) owns the
+  bounded per-subscriber queues and their backpressure policies;
+* the **MAC arbiter** (:mod:`repro.gateway.mac`) resolves contention
+  with its own seeded stream so replay stays bit-identical;
+* **per-tag supervisor tasks** send keepalives and absorb injected
+  crashes (``REPRO_FAULTS`` site ``gateway``): a dead tag task means
+  the tag stops refreshing and is evicted by timeout, or is evicted
+  immediately when the crash is observed -- the gateway itself keeps
+  serving.
+
+Latency accounting: the load question is "how many concurrent tags
+per core before p99 decode latency exceeds a symbol period"; every
+packet's wall-clock pipeline cost is recorded in
+:attr:`GatewayStats.decode_latencies_s` and in ``repro.perf`` gauges.
+
+Shutdown is a **graceful drain**: the source stops, queued pipeline
+work is flushed, subscribers are given ``drain_timeout_s`` to consume
+their backlogs, then streams close with a ``drained`` control event.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from time import perf_counter
+
+import numpy as np
+
+from repro import perf
+from repro.core.tag import MultiscatterTag, SingleProtocolTag
+from repro.gateway.control import ControlPlane, TagSession
+from repro.gateway.events import ControlEvent, PacketEvent
+from repro.gateway.mac import MacArbiter
+from repro.gateway.sources import AsyncExcitationSource
+from repro.gateway.subscriptions import Backpressure, SubscriptionHub, Subscriber
+from repro.phy.protocols import Protocol
+from repro.sim import faults
+from repro.sim.pipeline import PacketOutcome, PendingReception
+
+__all__ = ["GatewayConfig", "GatewayStats", "Gateway", "run_gateway"]
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Service knobs, all deterministic or wall-clock-only."""
+
+    #: Base seed: spawns per-tag channel streams for tags registered
+    #: without an explicit generator, and (with ``mac_seed`` unset)
+    #: the arbiter stream.
+    seed: int = 0
+    #: Separate arbiter seed; defaults to a stream spawned from ``seed``.
+    mac_seed: int | None = None
+    #: Receiver capture probability under MAC contention.
+    capture_prob: float = 1.0
+    #: Seconds without a keepalive before a tag is evicted.
+    keepalive_timeout_s: float = 5.0
+    #: How often each tag task refreshes its keepalive.
+    keepalive_interval_s: float = 0.05
+    #: Default bound for subscriber queues.
+    queue_maxlen: int = 64
+    #: How long a BLOCK subscriber may stall the publisher.
+    stall_timeout_s: float = 0.5
+    #: Pending receptions decoded per grouped kernel dispatch (1 =
+    #: decode each packet as it arrives; >1 batches the RNG-free
+    #: decode stage without touching draw order).
+    decode_batch: int = 1
+    #: Grace period for subscribers to empty their queues at shutdown.
+    drain_timeout_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.decode_batch < 1:
+            raise ValueError("decode_batch must be >= 1")
+
+
+@dataclass
+class GatewayStats:
+    """What one service run did, for reports and the load benchmark."""
+
+    n_packets: int = 0
+    n_published: int = 0
+    n_backscattered: int = 0
+    n_collisions: int = 0
+    n_tag_evictions: int = 0
+    n_tag_crashes: int = 0
+    n_subscriber_evictions: int = 0
+    n_dropped_events: int = 0
+    drained_clean: bool = False
+    elapsed_s: float = 0.0
+    decode_latencies_s: list[float] = field(default_factory=list)
+
+    def latency_percentile_s(self, q: float) -> float:
+        if not self.decode_latencies_s:
+            return 0.0
+        return float(np.percentile(np.asarray(self.decode_latencies_s), q))
+
+    def packets_per_s(self) -> float:
+        return self.n_packets / max(self.elapsed_s, 1e-12)
+
+
+class Gateway:
+    """Asyncio pub/sub gateway over the airlink pipeline."""
+
+    def __init__(self, config: GatewayConfig | None = None) -> None:
+        self.config = config or GatewayConfig()
+        cfg = self.config
+        self._seedseq = np.random.SeedSequence(cfg.seed)
+        mac_seed = cfg.mac_seed
+        if mac_seed is None:
+            # A spawned child keeps the arbiter stream disjoint from
+            # every per-tag stream derived from the same base seed.
+            mac_seed = int(self._seedseq.spawn(1)[0].generate_state(1)[0])
+        self.control = ControlPlane(keepalive_timeout_s=cfg.keepalive_timeout_s)
+        self.hub = SubscriptionHub(
+            default_maxlen=cfg.queue_maxlen, stall_timeout_s=cfg.stall_timeout_s
+        )
+        self.mac = MacArbiter(seed=mac_seed, capture_prob=cfg.capture_prob)
+        self.stats = GatewayStats()
+        self._tag_tasks: dict[str, asyncio.Task] = {}
+        self._stop_requested = False
+        self._running = False
+        self._now_s = 0.0
+
+    # -- clock ------------------------------------------------------------
+    def _now(self) -> float:
+        try:
+            return asyncio.get_running_loop().time()
+        except RuntimeError:  # before the loop starts (registration)
+            return self._now_s
+
+    # -- control-plane API --------------------------------------------------
+    def spawn_rng(self) -> np.random.Generator:
+        """A fresh child stream of the gateway seed (per-tag channels)."""
+        return np.random.default_rng(self._seedseq.spawn(1)[0])
+
+    async def register_tag(
+        self,
+        tag_id: str,
+        tag: MultiscatterTag | SingleProtocolTag | None = None,
+        *,
+        rng: np.random.Generator | None = None,
+        payload: np.ndarray | None = None,
+        d_tag_rx_m: float = 2.0,
+    ) -> TagSession:
+        """Admit a tag and start its supervised keepalive task."""
+        now_s = self._now()
+        session = self.control.register(
+            tag_id,
+            tag if tag is not None else MultiscatterTag(),
+            rng=rng if rng is not None else self.spawn_rng(),
+            payload=payload,
+            d_tag_rx_m=d_tag_rx_m,
+            now_s=now_s,
+        )
+        self._tag_tasks[tag_id] = asyncio.ensure_future(self._tag_task(session))
+        await self.hub.publish(
+            ControlEvent(kind="registered", time_s=now_s, tag_id=tag_id)
+        )
+        perf.count("gateway.tag.registered")
+        return session
+
+    async def deregister_tag(self, tag_id: str, *, reason: str = "deregistered") -> None:
+        session = self.control.deregister(tag_id)
+        task = self._tag_tasks.pop(tag_id, None)
+        if task is not None:
+            task.cancel()
+        if session is not None:
+            await self.hub.publish(
+                ControlEvent(
+                    kind="deregistered",
+                    time_s=self._now(),
+                    tag_id=tag_id,
+                    detail=reason,
+                )
+            )
+
+    def subscribe(
+        self,
+        name: str,
+        *,
+        maxlen: int | None = None,
+        policy: Backpressure = Backpressure.BLOCK,
+    ) -> Subscriber:
+        return self.hub.subscribe(name, maxlen=maxlen, policy=policy)
+
+    async def assign_carrier(
+        self, observed_rates: dict[Protocol, float], *, goal_kbps: float = 0.0
+    ) -> Protocol | None:
+        """§4.2.2 carrier pick, recorded on sessions and announced."""
+        choice, estimates = self.control.assign_carrier(
+            observed_rates, goal_kbps=goal_kbps
+        )
+        evidence = "; ".join(
+            f"{e.protocol.name}={e.tag_goodput_kbps:.2f}kbps" for e in estimates
+        )
+        await self.hub.publish(
+            ControlEvent(
+                kind="carrier_assigned",
+                time_s=self._now(),
+                protocol=choice,
+                detail=evidence,
+            )
+        )
+        return choice
+
+    def request_stop(self) -> None:
+        """Ask the air loop to stop after the current packet and drain."""
+        self._stop_requested = True
+
+    # -- tag supervisor tasks ------------------------------------------------
+    async def _tag_task(self, session: TagSession) -> None:
+        """Keepalive heartbeat; the injected-crash site for this tag.
+
+        A ``raise:site=gateway,name=tag:<id>`` fault kills this task;
+        the supervisor wrapper below evicts the tag and the gateway
+        carries on -- one sensor's firmware bug must not take down the
+        network.
+        """
+        tag_id = session.tag_id
+        try:
+            while True:
+                await faults.check_async("gateway", name=f"tag:{tag_id}")
+                self.control.keepalive(tag_id, self._now())
+                await asyncio.sleep(self.config.keepalive_interval_s)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self.stats.n_tag_crashes += 1
+            perf.count("gateway.tag.crashes")
+            await self._evict_tag(session, reason=f"tag task crashed: {exc!r}")
+
+    async def _evict_tag(
+        self, session: TagSession, *, reason: str, already_removed: bool = False
+    ) -> None:
+        # evict_stale() pops the session itself; every other caller
+        # must find it still registered (otherwise it raced another
+        # eviction and this one is a no-op).
+        if not already_removed and self.control.deregister(session.tag_id) is None:
+            return
+        task = self._tag_tasks.pop(session.tag_id, None)
+        if task is not None and task is not asyncio.current_task():
+            task.cancel()
+        self.stats.n_tag_evictions += 1
+        perf.count("gateway.tag.evictions")
+        await self.hub.publish(
+            ControlEvent(
+                kind="evicted",
+                time_s=self._now(),
+                tag_id=session.tag_id,
+                detail=reason,
+            )
+        )
+
+    # -- data plane ----------------------------------------------------------
+    async def _publish_outcome(
+        self, session: TagSession, outcome: PacketOutcome, latency_s: float
+    ) -> None:
+        session.seq += 1
+        if outcome.backscattered:
+            session.n_backscattered += 1
+            self.stats.n_backscattered += 1
+        self.stats.decode_latencies_s.append(latency_s)
+        perf.gauge("gateway.decode_latency_s", latency_s)
+        evicted = await self.hub.publish(
+            PacketEvent(
+                tag_id=session.tag_id,
+                seq=session.seq,
+                time_s=outcome.start_s,
+                outcome=outcome,
+                decode_latency_s=latency_s,
+            )
+        )
+        self.stats.n_published += 1
+        for sub in evicted:
+            self.stats.n_subscriber_evictions += 1
+            await self.hub.publish(
+                ControlEvent(
+                    kind="subscriber_evicted",
+                    time_s=self._now(),
+                    detail=f"{sub.name}: {sub.close_reason}",
+                )
+            )
+
+    async def _flush_pending(
+        self,
+        pending: list[tuple[TagSession, float, PacketOutcome | PendingReception]],
+    ) -> None:
+        """Decode buffered receptions with one grouped dispatch.
+
+        Ready outcomes (pipeline short-circuits such as identification
+        misses) ride in the same buffer behind queued receptions so
+        events always publish in schedule order, whatever
+        ``decode_batch`` is.
+        """
+        if not pending:
+            return
+        receptions = [
+            (i, item)
+            for i, (_, _, item) in enumerate(pending)
+            if isinstance(item, PendingReception)
+        ]
+        decoded: dict[int, PacketOutcome] = {}
+        decode_s = 0.0
+        if receptions:
+            t0 = perf_counter()
+            outcomes = pending[0][0].pipeline.decode_many(
+                [item for _, item in receptions]
+            )
+            decode_s = (perf_counter() - t0) / len(receptions)
+            decoded = {i: o for (i, _), o in zip(receptions, outcomes)}
+        for i, (session, stage_s, item) in enumerate(pending):
+            if i in decoded:
+                await self._publish_outcome(session, decoded[i], stage_s + decode_s)
+            else:
+                assert isinstance(item, PacketOutcome)
+                await self._publish_outcome(session, item, stage_s)
+        pending.clear()
+
+    # -- the air loop -----------------------------------------------------
+    async def serve(self, source: AsyncExcitationSource) -> GatewayStats:
+        """Run the gateway over a packet stream until it ends (or
+        :meth:`request_stop`), then drain gracefully.
+
+        Determinism: the air loop is the only consumer of per-tag
+        channel streams, packets arrive in schedule order, and the
+        arbiter draws only under contention -- so a single-tag run
+        replays :func:`repro.sim.airlink.run_airlink` bit for bit.
+        """
+        if self._running:
+            raise RuntimeError("gateway is already serving")
+        self._running = True
+        self._stop_requested = False
+        started = perf_counter()
+        pending: list[
+            tuple[TagSession, float, PacketOutcome | PendingReception]
+        ] = []
+        try:
+            async for scheduled in source.__aiter__():
+                if self._stop_requested:
+                    source.stop()
+                    break
+                for stale in self.control.evict_stale(self._now()):
+                    await self._evict_tag(
+                        stale,
+                        reason="keepalive timeout (tag presumed dead)",
+                        already_removed=True,
+                    )
+                decision = self.mac.arbitrate(
+                    [s.tag_id for s in self.control.sessions]
+                )
+                self.stats.n_packets += 1
+                perf.count("gateway.packets")
+                if decision.collided:
+                    self.stats.n_collisions += 1
+                    perf.count("gateway.collisions")
+                    continue
+                if decision.winner is None:
+                    continue
+                session = self.control.session(decision.winner)
+                if session is None:  # pragma: no cover - evicted this tick
+                    continue
+                session.refill_payload_if_spent()
+                t0 = perf_counter()
+                staged, session.cursor = session.pipeline.excite_and_react(
+                    scheduled, session.payload, session.cursor, session.rng
+                )
+                stage_s = perf_counter() - t0
+                if isinstance(staged, PacketOutcome) and not pending:
+                    # Nothing buffered ahead of it: publish right away.
+                    await self._publish_outcome(session, staged, stage_s)
+                else:
+                    pending.append((session, stage_s, staged))
+                    n_receptions = sum(
+                        1
+                        for _, _, item in pending
+                        if isinstance(item, PendingReception)
+                    )
+                    if n_receptions >= self.config.decode_batch:
+                        await self._flush_pending(pending)
+            await self._flush_pending(pending)
+            stats = await self._drain()
+            stats.elapsed_s = perf_counter() - started
+            return stats
+        finally:
+            self._running = False
+
+    async def _drain(self) -> GatewayStats:
+        """Graceful shutdown: flush, wait for consumers, close streams."""
+        now_s = self._now()
+        await self.hub.publish(ControlEvent(kind="draining", time_s=now_s))
+        drained = await self.hub.drain(timeout_s=self.config.drain_timeout_s)
+        self.stats.drained_clean = drained
+        self.stats.n_dropped_events = self.hub.total_dropped()
+        for tag_id in list(self._tag_tasks):
+            await self.deregister_tag(tag_id, reason="gateway drained")
+        await self.hub.publish(ControlEvent(kind="drained", time_s=self._now()))
+        # Closing puts the end-of-stream sentinel past full queues so
+        # every consumer observes the end of stream instead of hanging.
+        self.hub.close_all(reason="gateway drained")
+        perf.gauge("gateway.tags_live", float(len(self.control)))
+        return self.stats
+
+
+async def run_gateway(
+    source: AsyncExcitationSource,
+    *,
+    config: GatewayConfig | None = None,
+    n_tags: int = 1,
+    subscribers: int = 1,
+) -> GatewayStats:
+    """Convenience one-shot: N default tags, M draining subscribers."""
+    gw = Gateway(config)
+    for i in range(n_tags):
+        await gw.register_tag(f"tag-{i:03d}")
+
+    async def consume(sub: Subscriber) -> None:
+        try:
+            async for _ in sub:
+                pass
+        except Exception:  # pragma: no cover - consumer crash is its problem
+            pass
+
+    consumers = [
+        asyncio.ensure_future(consume(gw.subscribe(f"sub-{j}")))
+        for j in range(subscribers)
+    ]
+    stats = await gw.serve(source)
+    await asyncio.gather(*consumers, return_exceptions=True)
+    return stats

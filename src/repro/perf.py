@@ -43,6 +43,8 @@ __all__ = [
     "timed",
     "count",
     "counters",
+    "gauge",
+    "gauges",
     "timings",
     "dispatch",
     "batch_histograms",
@@ -60,6 +62,9 @@ _COUNTERS: dict[str, int] = defaultdict(int)
 
 #: kernel -> {batch size -> dispatch count}
 _BATCH_HIST: dict[str, dict[int, int]] = defaultdict(lambda: defaultdict(int))
+
+#: name -> [last, min, max, n_samples] for level-style metrics
+_GAUGES: dict[str, list[float]] = {}
 
 
 @contextmanager
@@ -101,6 +106,33 @@ def counters() -> dict[str, int]:
     return dict(_COUNTERS)
 
 
+def gauge(name: str, value: float) -> None:
+    """Record a level-style sample (queue depth, latency, backlog).
+
+    Unlike :func:`count`, a gauge tracks the *current* value of
+    something that goes up and down; the report shows last/min/max so
+    a gateway run exposes its high-water queue depths and worst decode
+    latency without keeping per-sample history.
+    """
+    cell = _GAUGES.get(name)
+    if cell is None:
+        # Telemetry only; process-local like the counters above.
+        _GAUGES[name] = [value, value, value, 1]  # reproflow: disable=F001
+        return
+    cell[0] = value
+    cell[1] = min(cell[1], value)
+    cell[2] = max(cell[2], value)
+    cell[3] += 1
+
+
+def gauges() -> dict[str, dict[str, float]]:
+    """Snapshot of gauges: name -> {last, min, max, n}."""
+    return {
+        k: {"last": v[0], "min": v[1], "max": v[2], "n": v[3]}
+        for k, v in _GAUGES.items()
+    }
+
+
 def dispatch(kernel: str, n: int, *, batched: bool) -> None:
     """Record one kernel dispatch covering ``n`` packets/captures.
 
@@ -123,10 +155,11 @@ def timings() -> dict[str, tuple[int, float]]:
 
 
 def reset() -> None:
-    """Clear all timers, counters and batch histograms."""
+    """Clear all timers, counters, gauges and batch histograms."""
     _TIMINGS.clear()
     _COUNTERS.clear()
     _BATCH_HIST.clear()
+    _GAUGES.clear()
 
 
 def report() -> str:
@@ -145,6 +178,15 @@ def report() -> str:
         width = max(len(k) for k in c)
         for name, n in sorted(c.items()):
             lines.append(f"  {name:<{width}s} {n:10d}")
+    g = gauges()
+    if g:
+        lines.append("gauges (name, last, min, max, samples):")
+        width = max(len(k) for k in g)
+        for name, s in sorted(g.items()):
+            lines.append(
+                f"  {name:<{width}s} {s['last']:12.4f} {s['min']:12.4f} "
+                f"{s['max']:12.4f} {int(s['n']):8d}"
+            )
     hist = batch_histograms()
     if hist:
         lines.append("batch-size histograms (kernel: size x dispatches):")

@@ -1,4 +1,4 @@
-"""Waveform-level end-to-end system simulation.
+"""Waveform-level end-to-end system simulation (batch driver).
 
 Ties everything together: an excitation schedule is rendered packet by
 packet into real waveforms, the multiscatter tag identifies each one
@@ -6,6 +6,13 @@ and backscatters tag data, the channel attenuates and adds noise, and
 per-protocol commodity receivers decode both data streams.  This is
 the whole Fig 1 loop at the signal level -- the integration surface
 the unit tests cannot cover.
+
+The per-packet signal path lives in :mod:`repro.sim.pipeline`; this
+module is the thin batch driver that replays a schedule through it and
+aggregates an :class:`AirlinkReport`.  The split exists so the
+streaming gateway (:mod:`repro.gateway`) can drive the identical
+pipeline one packet at a time -- both drivers produce byte-identical
+:class:`~repro.sim.pipeline.PacketOutcome` sequences on the same seed.
 
 Kept deliberately packet-sequential (no waveform-level packet
 overlap): the collision regime is studied separately in
@@ -18,31 +25,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.channel.link import PROTOCOL_LINK_DEFAULTS, BackscatterLink
-from repro.channel.noise import awgn, noise_floor_dbm
-from repro.core.identification import DEFAULT_INCIDENT_DBM
-from repro.core.overlay_decoder import OverlayDecoder
-from repro.core.tag import MultiscatterTag, SingleProtocolTag, TagReaction
-from repro.phy.protocols import Protocol
+from repro.core.tag import MultiscatterTag, SingleProtocolTag
 from repro.rng import fallback_rng
-from repro.sim.traffic import ExcitationSchedule, random_packet
+from repro.sim.pipeline import AirlinkPipeline, PacketOutcome
+from repro.sim.traffic import ExcitationSchedule
 
 __all__ = ["PacketOutcome", "AirlinkReport", "run_airlink"]
-
-
-@dataclass
-class PacketOutcome:
-    """What happened to one excitation packet."""
-
-    protocol: Protocol
-    start_s: float
-    identified: Protocol | None
-    backscattered: bool
-    tag_bits_sent: int
-    tag_bits_correct: int
-    productive_bits_correct: int
-    productive_bits_total: int
-    tag_bits_decoded: np.ndarray = field(default_factory=lambda: np.zeros(0, np.uint8))
 
 
 @dataclass
@@ -103,94 +91,11 @@ def run_airlink(
         else rng.integers(0, 2, 4096).astype(np.uint8)
     )
     report = AirlinkReport(duration_s=schedule.duration_s)
+    pipeline = AirlinkPipeline(tag, d_tag_rx_m=d_tag_rx_m)
     cursor = 0
 
     packets = schedule.packets[:max_packets] if max_packets else schedule.packets
     for scheduled in packets:
-        protocol = scheduled.protocol
-        # Excitation: a crafted overlay carrier with random productive
-        # bits (the codec is the tag's modulator-side codec).
-        modulator = tag.modulator_for(protocol) if isinstance(tag, MultiscatterTag) else None
-        if modulator is None and isinstance(tag, SingleProtocolTag):
-            # Single-protocol tags carry their own codec lazily; use a
-            # plain random packet for foreign protocols (ignored anyway).
-            if protocol is not tag.protocol:
-                excitation = random_packet(protocol, rng, n_payload_bytes=20)
-                reaction = tag.react(excitation, [])
-                report.outcomes.append(
-                    PacketOutcome(
-                        protocol=protocol,
-                        start_s=scheduled.start_s,
-                        identified=reaction.identified,
-                        backscattered=False,
-                        tag_bits_sent=0,
-                        tag_bits_correct=0,
-                        productive_bits_correct=0,
-                        productive_bits_total=0,
-                    )
-                )
-                continue
-            from repro.core.overlay import OverlayCodec, OverlayConfig
-            from repro.core.tag_modulation import TagModulator
-
-            codec = OverlayCodec(OverlayConfig.for_mode(protocol, tag.mode))
-            modulator = TagModulator(codec, frequency_shift_hz=tag.frequency_shift_hz)
-
-        codec = modulator.codec
-        n_prod = 24
-        productive = rng.integers(0, 2, n_prod).astype(np.uint8)
-        excitation = codec.build_carrier(productive)
-        _, capacity = codec.capacity(excitation.annotations["n_payload_symbols"])
-
-        chunk = payload[cursor : cursor + capacity]
-        reaction: TagReaction = tag.react(
-            excitation,
-            chunk,
-            incident_power_dbm=DEFAULT_INCIDENT_DBM[protocol],
-            rng=rng,
-        )
-        if not reaction.transmitted:
-            report.outcomes.append(
-                PacketOutcome(
-                    protocol=protocol,
-                    start_s=scheduled.start_s,
-                    identified=reaction.identified,
-                    backscattered=False,
-                    tag_bits_sent=0,
-                    tag_bits_correct=0,
-                    productive_bits_correct=0,
-                    productive_bits_total=n_prod,
-                )
-            )
-            continue
-        cursor += reaction.tag_bits_sent.size
-
-        # Channel: calibrated backscatter SNR at the receiver.
-        link = BackscatterLink(PROTOCOL_LINK_DEFAULTS[protocol])
-        snr_db = link.snr_db(d_tag_rx_m)
-        received = modulator.received_at_shifted_channel(reaction.backscattered)
-        received = awgn(received, snr_db=snr_db, rng=rng)
-        received.annotations = dict(excitation.annotations)
-
-        out = OverlayDecoder(codec).decode(received)
-        sent = reaction.tag_bits_sent
-        got_tag = out.tag_bits[: sent.size]
-        tag_correct = int(np.count_nonzero(got_tag == sent)) if sent.size else 0
-        got_prod = out.productive_bits[:n_prod]
-        prod_correct = int(
-            np.count_nonzero(got_prod == productive[: got_prod.size])
-        )
-        report.outcomes.append(
-            PacketOutcome(
-                protocol=protocol,
-                start_s=scheduled.start_s,
-                identified=reaction.identified,
-                backscattered=True,
-                tag_bits_sent=int(sent.size),
-                tag_bits_correct=tag_correct,
-                productive_bits_correct=prod_correct,
-                productive_bits_total=n_prod,
-                tag_bits_decoded=np.asarray(got_tag, dtype=np.uint8),
-            )
-        )
+        outcome, cursor = pipeline.process(scheduled, payload, cursor, rng)
+        report.outcomes.append(outcome)
     return report

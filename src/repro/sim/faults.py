@@ -61,6 +61,7 @@ __all__ = [
     "KINDS",
     "active_faults",
     "check",
+    "check_async",
     "clear",
     "install",
     "parse_spec",
@@ -70,7 +71,11 @@ __all__ = [
 ENV_VAR = "REPRO_FAULTS"
 
 #: Sites instrumented code may pass to :func:`check`.
-SITES = ("trial", "chunk", "save")
+#: ``gateway`` sites live inside the asyncio service
+#: (:mod:`repro.gateway`): subscriber delivery stalls and tag-task
+#: crashes are forced through the same grammar, with names like
+#: ``tag:<tag_id>`` and ``subscriber:<name>``.
+SITES = ("trial", "chunk", "save", "gateway")
 
 #: Supported fault actions.
 KINDS = ("raise", "hang", "kill")
@@ -208,5 +213,39 @@ def check(
             )
         if fault.kind == "hang":
             time.sleep(fault.hang_s)
+        elif fault.kind == "kill":
+            os._exit(13)
+
+
+async def check_async(
+    site: str,
+    *,
+    index: int | None = None,
+    name: str | None = None,
+    attempt: int = 1,
+) -> None:
+    """:func:`check` for coroutine sites (the gateway's event loop).
+
+    ``hang`` faults must not block the loop -- a synchronous
+    ``time.sleep`` would freeze every tag task and subscriber at once,
+    which is not the failure being modeled (one stuck participant).
+    They ``await asyncio.sleep`` instead; ``raise``/``kill`` behave as
+    in :func:`check`.
+    """
+    import asyncio
+
+    text = os.environ.get(ENV_VAR, "")
+    if not text:
+        return
+    for fault in parse_spec(text):
+        if not fault.matches(site, index=index, name=name, attempt=attempt):
+            continue
+        where = f"{site}[{index if index is not None else name or '*'}]"
+        if fault.kind == "raise":
+            raise FaultInjected(
+                f"injected fault at {where} (attempt {attempt})"
+            )
+        if fault.kind == "hang":
+            await asyncio.sleep(fault.hang_s)
         elif fault.kind == "kill":
             os._exit(13)

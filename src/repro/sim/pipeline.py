@@ -1,0 +1,342 @@
+"""Per-packet airlink pipeline core (excite -> identify -> backscatter
+-> channel -> decode).
+
+This is the reusable heart of the Fig 1 loop, refactored out of the
+batch-only :mod:`repro.sim.airlink` so the same signal path can serve
+two drivers:
+
+* the **batch driver** (:func:`repro.sim.airlink.run_airlink`), which
+  replays a whole :class:`~repro.sim.traffic.ExcitationSchedule` and
+  aggregates a report -- byte-identical to the pre-refactor monolith;
+* the **streaming gateway** (:mod:`repro.gateway`), which feeds the
+  pipeline one scheduled packet at a time from an asyncio air loop and
+  fans the decoded bits out to subscribers.
+
+The pipeline itself is pure: it owns no payload cursor and draws no
+hidden randomness -- every stochastic stage threads the caller's
+``rng``, so a packet-at-a-time replay of a schedule produces the same
+:class:`PacketOutcome` sequence as the batch driver on the same seed.
+
+Receiver-side construction (overlay codec, tag modulator, commodity
+decoder, calibrated link) is hoisted behind
+:mod:`repro.core.wavecache`: the monolith rebuilt this per-protocol
+receiver/template set on every call, which the gateway hot loop cannot
+afford.  The decode stage dispatches through the PR-6 batched kernels
+(``demodulate_batch``), which are bit-identical to the scalar receive
+chains at every batch size, so batching pending receptions never
+changes a decoded bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.channel.link import PROTOCOL_LINK_DEFAULTS, BackscatterLink
+from repro.channel.noise import awgn
+from repro.core.identification import DEFAULT_INCIDENT_DBM
+from repro.core.overlay import OverlayCodec, OverlayConfig
+from repro.core.overlay_decoder import OverlayDecoder
+from repro.core.tag import MultiscatterTag, SingleProtocolTag, TagReaction
+from repro.core.tag_modulation import TagModulator
+from repro.core.wavecache import LruCache
+from repro.phy.protocols import Protocol
+from repro.phy.waveform import Waveform
+from repro.sim.traffic import ScheduledPacket, random_packet
+
+__all__ = [
+    "PacketOutcome",
+    "PendingReception",
+    "ReceiverSet",
+    "AirlinkPipeline",
+    "receiver_set",
+]
+
+#: Productive bits crafted into every overlay excitation packet (the
+#: monolithic loop's historical constant; changing it changes every
+#: seeded experiment).
+N_PRODUCTIVE_BITS = 24
+
+
+@dataclass
+class PacketOutcome:
+    """What happened to one excitation packet."""
+
+    protocol: Protocol
+    start_s: float
+    identified: Protocol | None
+    backscattered: bool
+    tag_bits_sent: int
+    tag_bits_correct: int
+    productive_bits_correct: int
+    productive_bits_total: int
+    tag_bits_decoded: np.ndarray = field(default_factory=lambda: np.zeros(0, np.uint8))
+
+
+@dataclass(frozen=True)
+class ReceiverSet:
+    """One protocol/mode's hoisted receive-side construction.
+
+    Everything here is deterministic, stateless across packets, and
+    shared: the overlay codec (layout arithmetic), a reference tag
+    modulator (used for carrier construction and for retuning the
+    receiver to the shifted channel), the single-receiver overlay
+    decoder, and the calibrated link budget.
+    """
+
+    codec: OverlayCodec
+    modulator: TagModulator
+    decoder: OverlayDecoder
+    link: BackscatterLink
+
+
+#: (OverlayConfig, frequency_shift_hz) -> ReceiverSet.  Hit rates are
+#: visible in the REPRO_PERF=1 report; see repro.core.wavecache.
+_RECEIVER_CACHE = LruCache(maxsize=32, name="sim.pipeline.receiver_set")
+
+
+def receiver_set(config: OverlayConfig, frequency_shift_hz: float) -> ReceiverSet:
+    """The memoized per-overlay-layout receiver/template set.
+
+    The batch driver used to rebuild codec, modulator, decoder and
+    link objects per packet; the construction is deterministic from
+    the frozen :class:`OverlayConfig` (no RNG draws), so hoisting it
+    behind the wavecache changes no decoded bit while the gateway hot
+    loop stops re-deriving receivers.
+    """
+
+    def build() -> ReceiverSet:
+        codec = OverlayCodec(config)
+        return ReceiverSet(
+            codec=codec,
+            modulator=TagModulator(codec, frequency_shift_hz=frequency_shift_hz),
+            decoder=OverlayDecoder(codec),
+            link=BackscatterLink(PROTOCOL_LINK_DEFAULTS[config.protocol]),
+        )
+
+    out = _RECEIVER_CACHE.get_or_create((config, float(frequency_shift_hz)), build)
+    assert isinstance(out, ReceiverSet)
+    return out
+
+
+@dataclass
+class PendingReception:
+    """A backscattered packet after the channel, awaiting decode.
+
+    Splitting the decode stage off lets the gateway batch several
+    pending receptions into one grouped kernel dispatch (PR-6 batched
+    receive chains) without perturbing any earlier RNG draw.
+    """
+
+    protocol: Protocol
+    start_s: float
+    identified: Protocol | None
+    received: Waveform
+    reaction: TagReaction
+    productive: np.ndarray
+    receivers: ReceiverSet
+
+    def _decode_key(self) -> tuple[OverlayConfig, float]:
+        cfg = self.receivers.codec.config
+        return (cfg, self.receivers.modulator.frequency_shift_hz)
+
+
+class AirlinkPipeline:
+    """The per-packet excite -> identify -> backscatter -> channel ->
+    decode pipeline for one tag.
+
+    Parameters
+    ----------
+    tag:
+        The reacting tag (multiscatter or single-protocol).
+    d_tag_rx_m:
+        Tag-to-receiver distance; sets the calibrated decode SNR.
+    """
+
+    def __init__(
+        self,
+        tag: MultiscatterTag | SingleProtocolTag,
+        *,
+        d_tag_rx_m: float = 2.0,
+    ) -> None:
+        self.tag = tag
+        self.d_tag_rx_m = d_tag_rx_m
+
+    # -- stage 1: excitation ------------------------------------------
+    def _modulator_for(self, protocol: Protocol) -> TagModulator | None:
+        """The overlay modulator used to craft this packet's carrier.
+
+        ``None`` means the tag ignores this protocol entirely (a
+        single-protocol tag seeing foreign excitation).
+        """
+        tag = self.tag
+        if isinstance(tag, MultiscatterTag):
+            return tag.modulator_for(protocol)
+        if protocol is not tag.protocol:
+            return None
+        config = OverlayConfig.for_mode(protocol, tag.mode)
+        return receiver_set(config, tag.frequency_shift_hz).modulator
+
+    def _foreign_packet_outcome(
+        self, scheduled: ScheduledPacket, rng: np.random.Generator
+    ) -> PacketOutcome:
+        """A single-protocol tag's non-reaction to foreign excitation.
+
+        The excitation is a plain random packet (the tag has no codec
+        for it, and ignores it anyway); the RNG draw order matches the
+        historical batch loop exactly.
+        """
+        excitation = random_packet(scheduled.protocol, rng, n_payload_bytes=20)
+        reaction = self.tag.react(excitation, [])
+        return PacketOutcome(
+            protocol=scheduled.protocol,
+            start_s=scheduled.start_s,
+            identified=reaction.identified,
+            backscattered=False,
+            tag_bits_sent=0,
+            tag_bits_correct=0,
+            productive_bits_correct=0,
+            productive_bits_total=0,
+        )
+
+    # -- stages 1-4: excite, identify, backscatter, channel ------------
+    def excite_and_react(
+        self,
+        scheduled: ScheduledPacket,
+        payload: np.ndarray,
+        cursor: int,
+        rng: np.random.Generator,
+    ) -> tuple[PacketOutcome | PendingReception, int]:
+        """Run every stage up to (not including) the decode.
+
+        Returns either a finished :class:`PacketOutcome` (the tag did
+        not transmit) or a :class:`PendingReception` ready for the
+        decode stage, plus the advanced payload cursor.
+        """
+        protocol = scheduled.protocol
+        modulator = self._modulator_for(protocol)
+        if modulator is None:
+            return self._foreign_packet_outcome(scheduled, rng), cursor
+
+        codec = modulator.codec
+        receivers = receiver_set(codec.config, modulator.frequency_shift_hz)
+        productive = rng.integers(0, 2, N_PRODUCTIVE_BITS).astype(np.uint8)
+        excitation = codec.build_carrier(productive)
+        _, capacity = codec.capacity(excitation.annotations["n_payload_symbols"])
+
+        chunk = payload[cursor : cursor + capacity]
+        reaction: TagReaction = self.tag.react(
+            excitation,
+            chunk,
+            incident_power_dbm=DEFAULT_INCIDENT_DBM[protocol],
+            rng=rng,
+        )
+        if not reaction.transmitted:
+            return (
+                PacketOutcome(
+                    protocol=protocol,
+                    start_s=scheduled.start_s,
+                    identified=reaction.identified,
+                    backscattered=False,
+                    tag_bits_sent=0,
+                    tag_bits_correct=0,
+                    productive_bits_correct=0,
+                    productive_bits_total=N_PRODUCTIVE_BITS,
+                ),
+                cursor,
+            )
+        cursor += reaction.tag_bits_sent.size
+
+        # Channel: calibrated backscatter SNR at the receiver.
+        snr_db = receivers.link.snr_db(self.d_tag_rx_m)
+        assert reaction.backscattered is not None
+        received = modulator.received_at_shifted_channel(reaction.backscattered)
+        received = awgn(received, snr_db=snr_db, rng=rng)
+        received.annotations = dict(excitation.annotations)
+        return (
+            PendingReception(
+                protocol=protocol,
+                start_s=scheduled.start_s,
+                identified=reaction.identified,
+                received=received,
+                reaction=reaction,
+                productive=productive,
+                receivers=receivers,
+            ),
+            cursor,
+        )
+
+    # -- stage 5: decode ------------------------------------------------
+    @staticmethod
+    def _outcome_from_decode(
+        pending: PendingReception, symbol_values: list
+    ) -> PacketOutcome:
+        codec = pending.receivers.codec
+        productive_bits, tag_bits = codec.decode_symbols(symbol_values)
+        sent = pending.reaction.tag_bits_sent
+        got_tag = tag_bits[: sent.size]
+        tag_correct = int(np.count_nonzero(got_tag == sent)) if sent.size else 0
+        got_prod = productive_bits[:N_PRODUCTIVE_BITS]
+        prod_correct = int(
+            np.count_nonzero(got_prod == pending.productive[: got_prod.size])
+        )
+        return PacketOutcome(
+            protocol=pending.protocol,
+            start_s=pending.start_s,
+            identified=pending.identified,
+            backscattered=True,
+            tag_bits_sent=int(sent.size),
+            tag_bits_correct=tag_correct,
+            productive_bits_correct=prod_correct,
+            productive_bits_total=N_PRODUCTIVE_BITS,
+            tag_bits_decoded=np.asarray(got_tag, dtype=np.uint8),
+        )
+
+    def decode(self, pending: PendingReception) -> PacketOutcome:
+        """Decode one pending reception (batch of one).
+
+        The batched receive chains are bit-identical to the scalar
+        demodulators at every batch size, so this is the same result
+        the monolithic loop produced.
+        """
+        return self.decode_many([pending])[0]
+
+    def decode_many(
+        self, pendings: list[PendingReception]
+    ) -> list[PacketOutcome]:
+        """Decode pending receptions with grouped batched kernels.
+
+        Receptions are grouped by (protocol, mode, shift); each group
+        is one ``demodulate_batch`` dispatch.  Results come back in
+        input order and are bit-identical to per-packet decodes.
+        """
+        outcomes: list[PacketOutcome | None] = [None] * len(pendings)
+        groups: dict[tuple[OverlayConfig, float], list[int]] = {}
+        for i, pending in enumerate(pendings):
+            groups.setdefault(pending._decode_key(), []).append(i)
+        for idx in groups.values():
+            decoder = pendings[idx[0]].receivers.decoder
+            waves = [pendings[i].received for i in idx]
+            for i, values in zip(idx, decoder.symbol_values_batch(waves)):
+                outcomes[i] = self._outcome_from_decode(pendings[i], values)
+        return [o for o in outcomes if o is not None]
+
+    # -- the whole loop for one packet ----------------------------------
+    def process(
+        self,
+        scheduled: ScheduledPacket,
+        payload: np.ndarray,
+        cursor: int,
+        rng: np.random.Generator,
+    ) -> tuple[PacketOutcome, int]:
+        """Run one scheduled packet through every stage.
+
+        Returns the outcome and the advanced payload cursor.  Driving
+        a schedule through this packet-at-a-time is byte-identical to
+        :func:`repro.sim.airlink.run_airlink` on the same seed.
+        """
+        staged, cursor = self.excite_and_react(scheduled, payload, cursor, rng)
+        if isinstance(staged, PacketOutcome):
+            return staged, cursor
+        return self.decode(staged), cursor

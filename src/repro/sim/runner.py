@@ -51,6 +51,7 @@ from repro.sim import faults
 __all__ = [
     "ChunkError",
     "MonteCarlo",
+    "SEED_BOUND",
     "TrialError",
     "TrialStats",
     "resolve_backoff_s",
@@ -59,6 +60,13 @@ __all__ = [
     "resolve_workers",
     "validate_bounds",
 ]
+
+#: Exclusive upper bound for user-supplied seeds: one 64-bit entropy
+#: word.  ``numpy.random.SeedSequence`` would accept arbitrarily large
+#: non-negative integers, but artifacts, manifests and CLI flags store
+#: seeds as plain integers that must round-trip through JSON and shell
+#: history unambiguously, so the public contract pins one word.
+SEED_BOUND: int = 2**64
 
 #: One trial: rng in, named scalar metrics out.
 Trial = Callable[[np.random.Generator], dict[str, float]]
@@ -116,6 +124,7 @@ def validate_bounds(
     max_retries: int | None = None,
     timeout_s: float | None = None,
     backoff_s: float | None = None,
+    seed: int | None = None,
     where: str = "",
 ) -> None:
     """Validate the shared count/worker/robustness knobs in one place.
@@ -123,10 +132,18 @@ def validate_bounds(
     ``n_trials`` covers every repeat-count style parameter (trials,
     traces, packets, locations, ...); ``n_workers`` is the pool size;
     ``max_retries``/``timeout_s``/``backoff_s`` are the fault-tolerance
-    knobs.  ``None`` means "not supplied" and is always accepted.
-    ``where`` names the caller in the error message.
+    knobs; ``seed`` must satisfy ``0 <= seed < 2**64``
+    (:data:`SEED_BOUND`).  ``None`` means "not supplied" and is always
+    accepted.  ``where`` names the caller in the error message.
     """
     ctx = f" in {where}" if where else ""
+    if seed is not None:
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise ValueError(f"seed{ctx} must be an int, got {seed!r}")
+        if not 0 <= seed < SEED_BOUND:
+            raise ValueError(
+                f"seed{ctx} must satisfy 0 <= seed < 2**64, got {seed}"
+            )
     if n_trials is not None:
         if not isinstance(n_trials, int) or isinstance(n_trials, bool):
             raise ValueError(f"count{ctx} must be an int, got {n_trials!r}")

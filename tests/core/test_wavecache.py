@@ -5,10 +5,13 @@ import pytest
 
 from repro.core import wavecache
 from repro.core.adc import Adc
+from repro.core.identification import ProtocolIdentifier
 from repro.core.templates import (
+    _BANK_CACHE,
     _REFERENCE_CACHE,
     Template,
     TemplateBank,
+    cached_bank,
     reference_waveform,
 )
 from repro.phy.protocols import Protocol
@@ -94,6 +97,47 @@ class TestReferenceWaveformCache:
         reference_waveform(Protocol.WIFI_B)
         reference_waveform(Protocol.WIFI_B)
         assert _REFERENCE_CACHE.hits == h0 + 1
+
+
+class TestCachedBank:
+    def test_same_derivation_shares_one_bank(self):
+        wavecache.clear_caches()  # empties entries; counters keep running
+        m0, h0 = _BANK_CACHE.misses, _BANK_CACHE.hits
+        a = cached_bank(Adc(sample_rate=2.5e6))
+        b = cached_bank(Adc(sample_rate=2.5e6))
+        assert a is b
+        assert (_BANK_CACHE.misses - m0, _BANK_CACHE.hits - h0) == (1, 1)
+
+    def test_derivation_params_are_part_of_the_key(self):
+        base = cached_bank(Adc(sample_rate=2.5e6))
+        assert cached_bank(Adc(sample_rate=5.0e6)) is not base
+        assert cached_bank(
+            Adc(sample_rate=2.5e6), incident_power_dbm=-20.0
+        ) is not base
+        assert cached_bank(
+            Adc(sample_rate=2.5e6), protocols=(Protocol.BLE,)
+        ) is not base
+
+    def test_matches_uncached_build(self):
+        cached = cached_bank(Adc(sample_rate=2.5e6))
+        built = TemplateBank.build(Adc(sample_rate=2.5e6))
+        assert cached.l_m == built.l_m
+        for p in Protocol:
+            assert np.array_equal(
+                cached.templates[p].matching, built.templates[p].matching
+            )
+
+    def test_identifiers_share_the_cached_bank(self):
+        wavecache.clear_caches()
+        m0 = _BANK_CACHE.misses
+        first = ProtocolIdentifier()
+        second = ProtocolIdentifier()
+        assert first.bank is second.bank
+        assert _BANK_CACHE.misses - m0 == 1
+
+    def test_registered_in_cache_stats(self):
+        cached_bank(Adc(sample_rate=2.5e6))
+        assert "core.templates.bank" in wavecache.cache_stats()
 
 
 class TestStackedTemplates:

@@ -1,0 +1,1 @@
+"""Gateway service tests."""

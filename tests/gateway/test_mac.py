@@ -1,0 +1,96 @@
+"""MAC arbiter: determinism, contention, and replay."""
+
+import numpy as np
+import pytest
+
+from repro.gateway.mac import MacArbiter
+
+
+class TestUncontended:
+    def test_empty_slot_has_no_winner(self):
+        arb = MacArbiter(seed=1)
+        decision = arb.arbitrate([])
+        assert decision.winner is None
+        assert not decision.collided
+
+    def test_single_contender_wins_without_rng_draw(self):
+        arb = MacArbiter(seed=1)
+        state_before = arb._rng.bit_generator.state
+        decision = arb.arbitrate(["only"])
+        assert decision.winner == "only"
+        assert arb._rng.bit_generator.state == state_before
+
+    def test_uncontended_slots_do_not_perturb_later_draws(self):
+        a = MacArbiter(seed=5)
+        b = MacArbiter(seed=5)
+        for _ in range(100):
+            a.arbitrate(["solo"])
+        assert a.arbitrate(["x", "y", "z"]) == b.arbitrate(["x", "y", "z"])
+
+
+class TestContention:
+    def test_winner_is_a_contender(self):
+        arb = MacArbiter(seed=2)
+        for _ in range(50):
+            decision = arb.arbitrate(["a", "b", "c"])
+            assert decision.winner in ("a", "b", "c")
+
+    def test_every_contender_eventually_wins(self):
+        arb = MacArbiter(seed=3)
+        winners = {arb.arbitrate(["a", "b", "c", "d"]).winner for _ in range(200)}
+        assert winners == {"a", "b", "c", "d"}
+
+    def test_capture_prob_zero_always_collides(self):
+        arb = MacArbiter(seed=4, capture_prob=0.0)
+        for _ in range(20):
+            decision = arb.arbitrate(["a", "b"])
+            assert decision.collided and decision.winner is None
+        assert arb.n_collisions == 20
+
+    def test_capture_prob_one_never_collides(self):
+        arb = MacArbiter(seed=4, capture_prob=1.0)
+        assert not any(arb.arbitrate(["a", "b"]).collided for _ in range(200))
+
+    def test_collision_rate_tracks_capture_prob(self):
+        arb = MacArbiter(seed=6, capture_prob=0.7)
+        n = 2000
+        collided = sum(arb.arbitrate(["a", "b"]).collided for _ in range(n))
+        assert collided / n == pytest.approx(0.3, abs=0.05)
+
+    def test_invalid_capture_prob_rejected(self):
+        with pytest.raises(ValueError, match="capture_prob"):
+            MacArbiter(capture_prob=1.5)
+
+
+class TestReplay:
+    def test_same_seed_same_decisions(self):
+        slots = [["a", "b"], ["a"], ["a", "b", "c"], [], ["b", "c"]] * 20
+        first = [MacArbiter(seed=9).arbitrate(s) for s in slots]
+        second = [MacArbiter(seed=9).arbitrate(s) for s in slots]
+        # A fresh arbiter per slot would reset the stream; replay the
+        # whole sequence through one arbiter each time instead.
+        one = MacArbiter(seed=9)
+        two = MacArbiter(seed=9)
+        assert [one.arbitrate(s) for s in slots] == [two.arbitrate(s) for s in slots]
+        assert first == second  # per-slot fresh arbiters also agree
+
+    def test_reset_rewinds_to_seed(self):
+        arb = MacArbiter(seed=11)
+        slots = [["a", "b", "c"] for _ in range(30)]
+        original = [arb.arbitrate(s).winner for s in slots]
+        arb.reset()
+        assert [arb.arbitrate(s).winner for s in slots] == original
+        assert arb.n_arbitrations == 30
+
+    def test_different_seeds_diverge(self):
+        slots = [["a", "b", "c", "d"] for _ in range(50)]
+        one = MacArbiter(seed=0)
+        two = MacArbiter(seed=1)
+        assert [one.arbitrate(s).winner for s in slots] != [
+            two.arbitrate(s).winner for s in slots
+        ]
+
+    def test_seed_stream_is_numpy_generator(self):
+        # The arbiter must own a private stream, not the global RNG.
+        arb = MacArbiter(seed=13)
+        assert isinstance(arb._rng, np.random.Generator)

@@ -225,3 +225,103 @@ def score_capture(codes, bank, *, quantized: bool, offsets: tuple[int, ...] = (0
             c = unit @ t.matching
             scores[p] = float(c.max())
     return scores
+
+
+def reference_run_airlink(
+    schedule,
+    tag,
+    *,
+    d_tag_rx_m: float = 2.0,
+    tag_payload=None,
+    rng=None,
+    max_packets=None,
+):
+    """Seed (pre-pipeline-refactor) ``run_airlink`` loop body, verbatim.
+
+    The streaming/batch equivalence tests drive both the thin batch
+    driver and the packet-at-a-time gateway pipeline against this
+    frozen copy: RNG draw order, payload cursor arithmetic, and the
+    scalar decode path are exactly as they existed before the
+    excite/decode stages were split out into ``repro.sim.pipeline``.
+    Returns the list of ``PacketOutcome``-shaped tuples
+    (protocol, start_s, identified, backscattered, tag_bits_sent,
+    tag_bits_correct, productive_bits_correct, productive_bits_total,
+    tag_bits_decoded) rather than the dataclass, so the comparison
+    cannot silently pick up refactored behavior.
+    """
+    from repro.channel.link import PROTOCOL_LINK_DEFAULTS, BackscatterLink
+    from repro.channel.noise import awgn
+    from repro.core.identification import DEFAULT_INCIDENT_DBM
+    from repro.core.overlay import OverlayCodec, OverlayConfig
+    from repro.core.overlay_decoder import OverlayDecoder
+    from repro.core.tag import MultiscatterTag, SingleProtocolTag
+    from repro.core.tag_modulation import TagModulator
+    from repro.rng import fallback_rng
+    from repro.sim.traffic import random_packet
+
+    rng = fallback_rng(rng)
+    payload = (
+        np.asarray(tag_payload, dtype=np.uint8)
+        if tag_payload is not None
+        else rng.integers(0, 2, 4096).astype(np.uint8)
+    )
+    outcomes = []
+    cursor = 0
+
+    packets = schedule.packets[:max_packets] if max_packets else schedule.packets
+    for scheduled in packets:
+        protocol = scheduled.protocol
+        modulator = (
+            tag.modulator_for(protocol) if isinstance(tag, MultiscatterTag) else None
+        )
+        if modulator is None and isinstance(tag, SingleProtocolTag):
+            if protocol is not tag.protocol:
+                excitation = random_packet(protocol, rng, n_payload_bytes=20)
+                reaction = tag.react(excitation, [])
+                outcomes.append(
+                    (protocol, scheduled.start_s, reaction.identified, False,
+                     0, 0, 0, 0, np.zeros(0, np.uint8))
+                )
+                continue
+            codec = OverlayCodec(OverlayConfig.for_mode(protocol, tag.mode))
+            modulator = TagModulator(codec, frequency_shift_hz=tag.frequency_shift_hz)
+
+        codec = modulator.codec
+        n_prod = 24
+        productive = rng.integers(0, 2, n_prod).astype(np.uint8)
+        excitation = codec.build_carrier(productive)
+        _, capacity = codec.capacity(excitation.annotations["n_payload_symbols"])
+
+        chunk = payload[cursor : cursor + capacity]
+        reaction = tag.react(
+            excitation,
+            chunk,
+            incident_power_dbm=DEFAULT_INCIDENT_DBM[protocol],
+            rng=rng,
+        )
+        if not reaction.transmitted:
+            outcomes.append(
+                (protocol, scheduled.start_s, reaction.identified, False,
+                 0, 0, 0, n_prod, np.zeros(0, np.uint8))
+            )
+            continue
+        cursor += reaction.tag_bits_sent.size
+
+        link = BackscatterLink(PROTOCOL_LINK_DEFAULTS[protocol])
+        snr_db = link.snr_db(d_tag_rx_m)
+        received = modulator.received_at_shifted_channel(reaction.backscattered)
+        received = awgn(received, snr_db=snr_db, rng=rng)
+        received.annotations = dict(excitation.annotations)
+
+        out = OverlayDecoder(codec).decode(received)
+        sent = reaction.tag_bits_sent
+        got_tag = out.tag_bits[: sent.size]
+        tag_correct = int(np.count_nonzero(got_tag == sent)) if sent.size else 0
+        got_prod = out.productive_bits[:n_prod]
+        prod_correct = int(np.count_nonzero(got_prod == productive[: got_prod.size]))
+        outcomes.append(
+            (protocol, scheduled.start_s, reaction.identified, True,
+             int(sent.size), tag_correct, prod_correct, n_prod,
+             np.asarray(got_tag, dtype=np.uint8))
+        )
+    return outcomes

@@ -67,6 +67,45 @@ class TestRun:
         assert main(["show", str(tmp_path / "missing.json")]) == 2
 
 
+class TestSeedBound:
+    """--seed must survive a JSON/shell round trip: 0 <= seed < 2**64."""
+
+    @pytest.mark.parametrize("bad", ["-1", str(2**64), str(-(2**70))])
+    @pytest.mark.parametrize("command", ["run", "run-all", "serve"])
+    def test_out_of_range_seed_is_a_usage_error(self, capsys, command, bad):
+        argv = {
+            "run": ["run", "fig15_occlusion", "--seed", bad],
+            "run-all": ["run-all", "--preset", "quick", "--seed", bad],
+            "serve": ["serve", "--max-packets", "1", "--seed", bad],
+        }[command]
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "0 <= seed < 2**64" in err
+        assert "--seed" in err
+
+    def test_boundary_seed_accepted(self, capsys):
+        assert main([
+            "serve", "--tags", "1", "--max-packets", "2",
+            "--seed", str(2**64 - 1),
+        ]) == 0
+
+
+class TestServe:
+    def test_smoke_clean_drain(self, capsys):
+        assert main([
+            "serve", "--tags", "2", "--subscribers", "2",
+            "--max-packets", "6", "--rate", "200.0", "--require-clean",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "packets 6" in out
+        assert "drained clean: True" in out
+        assert "delivered per subscriber" in out
+
+    def test_bad_policy_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--policy", "yolo"])
+
+
 class TestRunAll:
     @pytest.fixture
     def two_experiment_registry(self, monkeypatch):

@@ -1,0 +1,45 @@
+"""Perf instrumentation: gauges (level-style metrics) and the report."""
+
+import pytest
+
+from repro import perf
+
+
+@pytest.fixture(autouse=True)
+def _clean_perf():
+    perf.reset()
+    yield
+    perf.reset()
+
+
+class TestGauges:
+    def test_first_sample_initialises_all_fields(self):
+        perf.gauge("q.depth", 3.0)
+        assert perf.gauges()["q.depth"] == {
+            "last": 3.0, "min": 3.0, "max": 3.0, "n": 1,
+        }
+
+    def test_tracks_last_min_max(self):
+        for v in (5.0, 1.0, 9.0, 4.0):
+            perf.gauge("lat", v)
+        g = perf.gauges()["lat"]
+        assert g == {"last": 4.0, "min": 1.0, "max": 9.0, "n": 4}
+
+    def test_independent_names(self):
+        perf.gauge("a", 1.0)
+        perf.gauge("b", 2.0)
+        assert set(perf.gauges()) == {"a", "b"}
+
+    def test_reset_clears_gauges(self):
+        perf.gauge("a", 1.0)
+        perf.reset()
+        assert perf.gauges() == {}
+
+    def test_report_renders_gauge_section(self):
+        perf.gauge("gateway.queue_depth.s", 7.0)
+        text = perf.report()
+        assert "gauges (name, last, min, max, samples):" in text
+        assert "gateway.queue_depth.s" in text
+
+    def test_report_omits_empty_gauge_section(self):
+        assert "gauges (name" not in perf.report()
