@@ -15,19 +15,23 @@ test-fast:
 	$(PYTHON) -m pytest tests/ -m "not slow"
 
 # Determinism/dtype AST linter + units/purity dataflow analyzer +
-# symbolic shape/dtype verifier (docs/STATIC_ANALYSIS.md).
+# symbolic shape/dtype verifier + asyncio/concurrency safety analyzer
+# (docs/STATIC_ANALYSIS.md).
 lint:
 	$(PYTHON) -m tools.reprolint src/
 	$(PYTHON) -m tools.reproflow src/repro
 	$(PYTHON) -m tools.reproshape src/repro
+	$(PYTHON) -m tools.reproasync src/repro
 
 # The whole-program analyzers with their JSON reports: the annotated
-# call graph (reproflow) and the symbolic shape table + batch/scalar
-# parity proofs (reproshape) land next to the tree for inspection.
+# call graph (reproflow), the symbolic shape table + batch/scalar
+# parity proofs (reproshape), and the async task graph + determinism
+# proofs (reproasync) land next to the tree for inspection.
 analyze:
 	$(PYTHON) -m tools.reproflow src/repro --format=json > reproflow-report.json
 	$(PYTHON) -m tools.reproshape src/repro --format=json > reproshape-report.json
-	@echo "analyze: wrote reproflow-report.json and reproshape-report.json"
+	$(PYTHON) -m tools.reproasync src/repro --format=json > reproasync-report.json
+	@echo "analyze: wrote reproflow-report.json, reproshape-report.json, and reproasync-report.json"
 
 # mypy (strict on repro.phy/core/channel/sim per pyproject.toml).
 # Skips with a notice when mypy is not installed, so `make check`
@@ -47,9 +51,12 @@ smoke:
 	$(PYTHON) tools/check_artifacts.py runs/smoke --expect-all
 
 # Streaming gateway smoke: 8 tags, 2 subscribers, block policy; fails
-# on any drop, eviction, or unclean drain (the CI gateway smoke step).
+# on any drop, eviction, consumer error, event-loop lag violation, or
+# unclean drain (the CI gateway smoke step).  Runs under asyncio debug
+# mode with the loopwatch sanitizer armed.
 serve-smoke:
-	$(PYTHON) -m repro serve --tags 8 --subscribers 2 --max-packets 32 \
+	PYTHONASYNCIODEBUG=1 REPRO_LOOPWATCH=1 \
+		$(PYTHON) -m repro serve --tags 8 --subscribers 2 --max-packets 32 \
 		--policy block --require-clean
 
 # Crash a run mid-save with the fault-injection harness, resume it,

@@ -285,7 +285,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     policy = Backpressure(args.policy)
 
-    async def _serve() -> tuple[GatewayStats, list[int]]:
+    async def _serve() -> tuple[GatewayStats, list[int], list[str]]:
         gateway = Gateway(config)
         sources = [
             ExcitationSource(protocol=p, rate_pkts=args.rate, periodic=False)
@@ -310,11 +310,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         delivered = [0] * args.subscribers
 
         async def _consume(index: int, sub: Subscriber) -> None:
-            try:
-                async for _event in sub:
-                    delivered[index] += 1
-            except Exception:  # noqa: BLE001 -- end of stream
-                pass
+            # End of stream is StopAsyncIteration inside the async for;
+            # real consumer failures must reach the gather below.
+            async for _event in sub:
+                delivered[index] += 1
 
         consumers = [
             asyncio.ensure_future(_consume(j, gateway.subscribe(f"sub-{j}", policy=policy)))
@@ -324,10 +323,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             source.observed_rates(), goal_kbps=args.goal_kbps
         )
         stats = await gateway.serve(source)
-        await asyncio.gather(*consumers, return_exceptions=True)
-        return stats, delivered
+        results = await asyncio.gather(*consumers, return_exceptions=True)
+        errors = [
+            f"sub-{j}: {type(r).__name__}: {r}"
+            for j, r in enumerate(results)
+            if isinstance(r, BaseException)
+            and not isinstance(r, asyncio.CancelledError)
+        ]
+        return stats, delivered, errors
 
-    stats, delivered = asyncio.run(_serve())
+    stats, delivered, consumer_errors = asyncio.run(_serve())
     p50_ms = stats.latency_percentile_s(50) * 1e3
     p99_ms = stats.latency_percentile_s(99) * 1e3
     print(
@@ -349,11 +354,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"{stats.n_subscriber_evictions}"
     )
     print(f"  drained clean: {stats.drained_clean}")
+    from repro.core import loopwatch
+
+    if loopwatch.enabled():
+        print(
+            f"  loopwatch: {stats.loopwatch_violations} violation(s), "
+            f"{stats.loopwatch_slow_callbacks} slow callback(s), "
+            f"max lag {stats.loopwatch_max_lag_s * 1e3:.2f} ms"
+        )
+    for err in consumer_errors:
+        print(f"serve: consumer failed: {err}", file=sys.stderr)
     if args.require_clean and (
         not stats.drained_clean
         or stats.n_dropped_events
         or stats.n_tag_evictions
         or stats.n_subscriber_evictions
+        or stats.loopwatch_violations
+        or consumer_errors
     ):
         print("serve: --require-clean violated", file=sys.stderr)
         return 1

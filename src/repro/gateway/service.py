@@ -12,11 +12,16 @@ subscriber.  Around it:
   bounded per-subscriber queues and their backpressure policies;
 * the **MAC arbiter** (:mod:`repro.gateway.mac`) resolves contention
   with its own seeded stream so replay stays bit-identical;
-* **per-tag supervisor tasks** send keepalives and absorb injected
-  crashes (``REPRO_FAULTS`` site ``gateway``): a dead tag task means
-  the tag stops refreshing and is evicted by timeout, or is evicted
-  immediately when the crash is observed -- the gateway itself keeps
-  serving.
+* a single **control-plane sweep task** refreshes every live tag's
+  keepalive, observes injected crashes (``REPRO_FAULTS`` site
+  ``gateway``, name ``tag:<id>``) and evicts stale sessions -- one
+  task however many tags are registered, and the air loop pays no
+  per-packet stale scan.  A crashed tag is evicted on the next sweep
+  pass; the gateway itself keeps serving.
+
+With ``REPRO_LOOPWATCH=1`` the serve loop runs under the
+:mod:`repro.core.loopwatch` event-loop sanitizer; its violation count
+and worst observed lag land in :class:`GatewayStats`.
 
 Latency accounting: the load question is "how many concurrent tags
 per core before p99 decode latency exceeds a symbol period"; every
@@ -37,6 +42,7 @@ from time import perf_counter
 import numpy as np
 
 from repro import perf
+from repro.core import loopwatch
 from repro.core.tag import MultiscatterTag, SingleProtocolTag
 from repro.gateway.control import ControlPlane, TagSession
 from repro.gateway.events import ControlEvent, PacketEvent
@@ -64,7 +70,7 @@ class GatewayConfig:
     capture_prob: float = 1.0
     #: Seconds without a keepalive before a tag is evicted.
     keepalive_timeout_s: float = 5.0
-    #: How often each tag task refreshes its keepalive.
+    #: How often the sweep task refreshes keepalives / evicts stale tags.
     keepalive_interval_s: float = 0.05
     #: Default bound for subscriber queues.
     queue_maxlen: int = 64
@@ -97,6 +103,10 @@ class GatewayStats:
     drained_clean: bool = False
     elapsed_s: float = 0.0
     decode_latencies_s: list[float] = field(default_factory=list)
+    #: Event-loop sanitizer results (0 unless ``REPRO_LOOPWATCH=1``).
+    loopwatch_violations: int = 0
+    loopwatch_slow_callbacks: int = 0
+    loopwatch_max_lag_s: float = 0.0
 
     def latency_percentile_s(self, q: float) -> float:
         if not self.decode_latencies_s:
@@ -125,7 +135,9 @@ class Gateway:
         )
         self.mac = MacArbiter(seed=mac_seed, capture_prob=cfg.capture_prob)
         self.stats = GatewayStats()
-        self._tag_tasks: dict[str, asyncio.Task] = {}
+        self._sweep_task: asyncio.Task | None = None
+        self._sweep_error: BaseException | None = None
+        self._suspended: set[str] = set()
         self._stop_requested = False
         self._running = False
         self._now_s = 0.0
@@ -151,17 +163,20 @@ class Gateway:
         payload: np.ndarray | None = None,
         d_tag_rx_m: float = 2.0,
     ) -> TagSession:
-        """Admit a tag and start its supervised keepalive task."""
+        """Admit a tag; the control-plane sweep keeps it alive."""
         now_s = self._now()
         session = self.control.register(
             tag_id,
-            tag if tag is not None else MultiscatterTag(),
+            # Default-tag construction builds (cached, per-protocol)
+            # reference template banks -- a deliberate one-time
+            # control-plane cost, accepted on the registration path.
+            tag if tag is not None else MultiscatterTag(),  # reproasync: disable=C001
             rng=rng if rng is not None else self.spawn_rng(),
             payload=payload,
             d_tag_rx_m=d_tag_rx_m,
             now_s=now_s,
         )
-        self._tag_tasks[tag_id] = asyncio.ensure_future(self._tag_task(session))
+        self._ensure_sweep()
         await self.hub.publish(
             ControlEvent(kind="registered", time_s=now_s, tag_id=tag_id)
         )
@@ -170,9 +185,7 @@ class Gateway:
 
     async def deregister_tag(self, tag_id: str, *, reason: str = "deregistered") -> None:
         session = self.control.deregister(tag_id)
-        task = self._tag_tasks.pop(tag_id, None)
-        if task is not None:
-            task.cancel()
+        self._suspended.discard(tag_id)
         if session is not None:
             await self.hub.publish(
                 ControlEvent(
@@ -216,27 +229,68 @@ class Gateway:
         """Ask the air loop to stop after the current packet and drain."""
         self._stop_requested = True
 
-    # -- tag supervisor tasks ------------------------------------------------
-    async def _tag_task(self, session: TagSession) -> None:
-        """Keepalive heartbeat; the injected-crash site for this tag.
-
-        A ``raise:site=gateway,name=tag:<id>`` fault kills this task;
-        the supervisor wrapper below evicts the tag and the gateway
-        carries on -- one sensor's firmware bug must not take down the
-        network.
+    # -- control-plane sweep -------------------------------------------------
+    def suspend_heartbeat(self, tag_id: str) -> None:
+        """Stop refreshing ``tag_id``'s keepalive (a tag gone silent
+        without any observable crash -- only the timeout can evict it).
         """
-        tag_id = session.tag_id
+        self._suspended.add(tag_id)
+
+    def _ensure_sweep(self) -> None:
+        if self._sweep_task is not None and not self._sweep_task.done():
+            return
+        self._sweep_task = asyncio.ensure_future(self._sweep())
+        self._sweep_task.add_done_callback(self._on_sweep_done)
+
+    def _on_sweep_done(self, task: asyncio.Task) -> None:
+        # A sweep failure is a gateway bug, not a tag fault; stash it
+        # so serve() re-raises instead of silently losing keepalives.
+        if not task.cancelled() and task.exception() is not None:
+            self._sweep_error = task.exception()
+
+    async def _stop_sweep(self) -> None:
+        task = self._sweep_task
+        self._sweep_task = None
+        if task is None:
+            return
+        task.cancel()
         try:
-            while True:
-                await faults.check_async("gateway", name=f"tag:{tag_id}")
-                self.control.keepalive(tag_id, self._now())
-                await asyncio.sleep(self.config.keepalive_interval_s)
+            await task
         except asyncio.CancelledError:
-            raise
-        except Exception as exc:
-            self.stats.n_tag_crashes += 1
-            perf.count("gateway.tag.crashes")
-            await self._evict_tag(session, reason=f"tag task crashed: {exc!r}")
+            pass
+
+    async def _sweep(self) -> None:
+        """One task sweeps the whole control plane every keepalive tick.
+
+        Replaces the former per-tag supervisor tasks and the air loop's
+        per-packet stale scan: each pass refreshes every live tag's
+        keepalive, observes injected crashes
+        (``raise:site=gateway,name=tag:<id>`` evicts that tag and only
+        that tag -- one sensor's firmware bug must not take down the
+        network) and evicts sessions whose keepalive timed out.
+        """
+        while True:
+            now_s = self._now()
+            for session in list(self.control.sessions):
+                tag_id = session.tag_id
+                try:
+                    await faults.check_async("gateway", name=f"tag:{tag_id}")
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:
+                    self.stats.n_tag_crashes += 1
+                    perf.count("gateway.tag.crashes")
+                    await self._evict_tag(session, reason=f"tag crashed: {exc!r}")
+                    continue
+                if tag_id not in self._suspended:
+                    self.control.keepalive(tag_id, now_s)
+            for stale in self.control.evict_stale(self._now()):
+                await self._evict_tag(
+                    stale,
+                    reason="keepalive timeout (tag presumed dead)",
+                    already_removed=True,
+                )
+            await asyncio.sleep(self.config.keepalive_interval_s)
 
     async def _evict_tag(
         self, session: TagSession, *, reason: str, already_removed: bool = False
@@ -246,9 +300,7 @@ class Gateway:
         # eviction and this one is a no-op).
         if not already_removed and self.control.deregister(session.tag_id) is None:
             return
-        task = self._tag_tasks.pop(session.tag_id, None)
-        if task is not None and task is not asyncio.current_task():
-            task.cancel()
+        self._suspended.discard(session.tag_id)
         self.stats.n_tag_evictions += 1
         perf.count("gateway.tag.evictions")
         await self.hub.publish(
@@ -312,7 +364,11 @@ class Gateway:
         decode_s = 0.0
         if receptions:
             t0 = perf_counter()
-            outcomes = pending[0][0].pipeline.decode_many(
+            # Decoding inline (not in an executor) keeps event order
+            # and draw order deterministic; per-packet kernel cost is
+            # ~0.1-3 ms and the loopwatch sanitizer bounds the worst
+            # case at runtime.
+            outcomes = pending[0][0].pipeline.decode_many(  # reproasync: disable=C001
                 [item for _, item in receptions]
             )
             decode_s = (perf_counter() - t0) / len(receptions)
@@ -339,58 +395,74 @@ class Gateway:
             raise RuntimeError("gateway is already serving")
         self._running = True
         self._stop_requested = False
+        self._ensure_sweep()
+        watch = loopwatch.maybe_start()
         started = perf_counter()
         pending: list[
             tuple[TagSession, float, PacketOutcome | PendingReception]
         ] = []
         try:
-            async for scheduled in source.__aiter__():
-                if self._stop_requested:
-                    source.stop()
-                    break
-                for stale in self.control.evict_stale(self._now()):
-                    await self._evict_tag(
-                        stale,
-                        reason="keepalive timeout (tag presumed dead)",
-                        already_removed=True,
+            try:
+                async for scheduled in source.__aiter__():
+                    if self._stop_requested:
+                        source.stop()
+                        break
+                    if self._sweep_error is not None:
+                        raise RuntimeError(
+                            "control-plane sweep task failed"
+                        ) from self._sweep_error
+                    decision = self.mac.arbitrate(
+                        [s.tag_id for s in self.control.sessions]
                     )
-                decision = self.mac.arbitrate(
-                    [s.tag_id for s in self.control.sessions]
-                )
-                self.stats.n_packets += 1
-                perf.count("gateway.packets")
-                if decision.collided:
-                    self.stats.n_collisions += 1
-                    perf.count("gateway.collisions")
-                    continue
-                if decision.winner is None:
-                    continue
-                session = self.control.session(decision.winner)
-                if session is None:  # pragma: no cover - evicted this tick
-                    continue
-                session.refill_payload_if_spent()
-                t0 = perf_counter()
-                staged, session.cursor = session.pipeline.excite_and_react(
-                    scheduled, session.payload, session.cursor, session.rng
-                )
-                stage_s = perf_counter() - t0
-                if isinstance(staged, PacketOutcome) and not pending:
-                    # Nothing buffered ahead of it: publish right away.
-                    await self._publish_outcome(session, staged, stage_s)
-                else:
-                    pending.append((session, stage_s, staged))
-                    n_receptions = sum(
-                        1
-                        for _, _, item in pending
-                        if isinstance(item, PendingReception)
+                    self.stats.n_packets += 1
+                    perf.count("gateway.packets")
+                    if decision.collided:
+                        self.stats.n_collisions += 1
+                        perf.count("gateway.collisions")
+                        continue
+                    if decision.winner is None:
+                        continue
+                    session = self.control.session(decision.winner)
+                    if session is None:  # pragma: no cover - evicted this tick
+                        continue
+                    session.refill_payload_if_spent()
+                    t0 = perf_counter()
+                    # Inline on purpose: the excite/react stage consumes
+                    # the per-tag RNG stream, and determinism requires a
+                    # single consumer in schedule order (see docstring).
+                    staged, session.cursor = session.pipeline.excite_and_react(  # reproasync: disable=C001
+                        scheduled, session.payload, session.cursor, session.rng
                     )
-                    if n_receptions >= self.config.decode_batch:
-                        await self._flush_pending(pending)
-            await self._flush_pending(pending)
-            stats = await self._drain()
-            stats.elapsed_s = perf_counter() - started
-            return stats
+                    stage_s = perf_counter() - t0
+                    if isinstance(staged, PacketOutcome) and not pending:
+                        # Nothing buffered ahead of it: publish right away.
+                        await self._publish_outcome(session, staged, stage_s)
+                    else:
+                        pending.append((session, stage_s, staged))
+                        n_receptions = sum(
+                            1
+                            for _, _, item in pending
+                            if isinstance(item, PendingReception)
+                        )
+                        if n_receptions >= self.config.decode_batch:
+                            await self._flush_pending(pending)
+                await self._flush_pending(pending)
+                stats = await self._drain()
+                stats.elapsed_s = perf_counter() - started
+                return stats
+            except asyncio.CancelledError:
+                # Mid-await cancellation (hard shutdown): stop the sweep
+                # and close every stream so consumers blocked on get()
+                # observe end-of-stream instead of hanging forever.
+                await self._stop_sweep()
+                self.hub.close_all(reason="gateway cancelled")
+                raise
         finally:
+            if watch is not None:
+                lw = await watch.stop()
+                self.stats.loopwatch_violations = lw.violations
+                self.stats.loopwatch_slow_callbacks = lw.slow_callbacks
+                self.stats.loopwatch_max_lag_s = lw.max_lag_s
             self._running = False
 
     async def _drain(self) -> GatewayStats:
@@ -400,7 +472,8 @@ class Gateway:
         drained = await self.hub.drain(timeout_s=self.config.drain_timeout_s)
         self.stats.drained_clean = drained
         self.stats.n_dropped_events = self.hub.total_dropped()
-        for tag_id in list(self._tag_tasks):
+        await self._stop_sweep()
+        for tag_id in [s.tag_id for s in self.control.sessions]:
             await self.deregister_tag(tag_id, reason="gateway drained")
         await self.hub.publish(ControlEvent(kind="drained", time_s=self._now()))
         # Closing puts the end-of-stream sentinel past full queues so
@@ -423,10 +496,9 @@ async def run_gateway(
         await gw.register_tag(f"tag-{i:03d}")
 
     async def consume(sub: Subscriber) -> None:
-        try:
-            async for _ in sub:
-                pass
-        except Exception:  # pragma: no cover - consumer crash is its problem
+        # End of stream surfaces as StopAsyncIteration inside the async
+        # for; anything else is a real bug and must propagate.
+        async for _ in sub:
             pass
 
     consumers = [
@@ -434,5 +506,10 @@ async def run_gateway(
         for j in range(subscribers)
     ]
     stats = await gw.serve(source)
-    await asyncio.gather(*consumers, return_exceptions=True)
+    results = await asyncio.gather(*consumers, return_exceptions=True)
+    for result in results:
+        if isinstance(result, BaseException) and not isinstance(
+            result, asyncio.CancelledError
+        ):
+            raise result
     return stats

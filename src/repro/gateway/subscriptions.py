@@ -17,13 +17,17 @@ when it fills is the subscriber's declared policy, not an accident:
 
 Eviction and close always enqueue a sentinel so a blocked ``get()``
 wakes up and raises :class:`SubscriptionClosed` instead of hanging.
+
+Shutdown is event-driven: every consume (and every close) pokes the
+hub's wakeup event, so :meth:`SubscriptionHub.drain` sleeps until a
+queue actually changed instead of polling on a timer.
 """
 
 from __future__ import annotations
 
 import asyncio
 import enum
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro import perf
 from repro.sim import faults
@@ -55,6 +59,27 @@ class SubscriptionClosed(Exception):
 _CLOSE = object()
 
 
+class _NotifyingQueue(asyncio.Queue):
+    """Bounded queue that reports every consumed item to the hub.
+
+    CPython's ``Queue.get()`` takes the item via ``get_nowait()`` once
+    one is available, so overriding the one method covers both the
+    blocking and non-blocking consume paths.  The callback is how
+    :meth:`SubscriptionHub.drain` learns a backlog shrank without
+    polling.
+    """
+
+    def __init__(self, maxsize: int = 0) -> None:
+        super().__init__(maxsize)
+        self.on_consume: Callable[[], None] | None = None
+
+    def get_nowait(self) -> object:
+        item = super().get_nowait()
+        if self.on_consume is not None:
+            self.on_consume()
+        return item
+
+
 class Subscriber:
     """One consumer's bounded view of the gateway event stream.
 
@@ -69,7 +94,7 @@ class Subscriber:
             raise ValueError(f"subscriber queue maxlen must be >= 1, got {maxlen}")
         self.name = name
         self.policy = policy
-        self.queue: asyncio.Queue = asyncio.Queue(maxsize=maxlen)
+        self.queue: _NotifyingQueue = _NotifyingQueue(maxsize=maxlen)
         self.dropped = 0
         self.delivered = 0
         self.closed = False
@@ -145,6 +170,12 @@ class SubscriptionHub:
         self.default_maxlen = default_maxlen
         self.stall_timeout_s = stall_timeout_s
         self._subscribers: dict[str, Subscriber] = {}
+        # Set whenever a queue shrinks or a subscriber closes; drain()
+        # clears it before re-checking so no wakeup is ever lost.
+        self._activity = asyncio.Event()
+
+    def _notify(self) -> None:
+        self._activity.set()
 
     @property
     def subscribers(self) -> tuple[Subscriber, ...]:
@@ -164,6 +195,7 @@ class SubscriptionHub:
             maxlen=maxlen if maxlen is not None else self.default_maxlen,
             policy=policy,
         )
+        sub.queue.on_consume = self._notify
         self._subscribers[name] = sub
         perf.count("gateway.subscriber.subscribed")
         return sub
@@ -172,6 +204,7 @@ class SubscriptionHub:
         sub = self._subscribers.pop(name, None)
         if sub is not None:
             sub._close(reason)
+            self._notify()
 
     async def publish(self, event: "GatewayEvent") -> list[Subscriber]:
         """Deliver ``event`` to every subscriber per its policy.
@@ -214,24 +247,35 @@ class SubscriptionHub:
     def _evict(self, sub: Subscriber, reason: str) -> None:
         self._subscribers.pop(sub.name, None)
         sub._close(reason)
+        self._notify()
         perf.count("gateway.subscriber.evictions")
 
     async def drain(self, *, timeout_s: float) -> bool:
         """Wait until every live queue is empty (consumers caught up).
 
-        Returns False if the timeout expired first -- the caller
+        Event-driven: sleeps on the hub wakeup until a consume or close
+        actually changes a queue, re-checking with clear-before-check
+        semantics so a wakeup between the check and the wait is never
+        lost.  Returns False if the timeout expired first -- the caller
         decides whether that is an error (CI smoke) or acceptable
         (interactive shutdown).
         """
         loop = asyncio.get_running_loop()
         deadline = loop.time() + timeout_s
-        while any(
-            not s.closed and s.qsize() > 0 for s in self._subscribers.values()
-        ):
-            if loop.time() >= deadline:
+        while True:
+            self._activity.clear()
+            if not any(
+                not s.closed and s.qsize() > 0
+                for s in self._subscribers.values()
+            ):
+                return True
+            remaining = deadline - loop.time()
+            if remaining <= 0:
                 return False
-            await asyncio.sleep(0.005)
-        return True
+            try:
+                await asyncio.wait_for(self._activity.wait(), timeout=remaining)
+            except asyncio.TimeoutError:
+                return False
 
     def close_all(self, *, reason: str = "gateway shut down") -> None:
         for name in list(self._subscribers):

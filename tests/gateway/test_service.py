@@ -135,9 +135,9 @@ class TestControlPlane:
                 )
             )
             session = await gw.register_tag("quiet", MultiscatterTag())
-            # Kill the keepalive task silently: the tag goes quiet but
-            # no crash is observed -- only the timeout can evict it.
-            gw._tag_tasks["quiet"].cancel()
+            # The tag goes quiet: no crash is observed, its keepalive
+            # just stops refreshing -- only the timeout can evict it.
+            gw.suspend_heartbeat("quiet")
             sub = gw.subscribe("s", maxlen=512)
             task = asyncio.ensure_future(collect(sub))
             await asyncio.sleep(0.05)

@@ -1,0 +1,164 @@
+"""reproasync — whole-program asyncio/concurrency safety analyzer.
+
+Fourth pillar of the static-analysis suite (after reprolint,
+reproflow, reproshape).  Builds reproflow's :class:`ProjectIndex`,
+extends its call graph with async spawn edges
+(``create_task``/``ensure_future``/``gather``/``asyncio.run``), and
+checks the C-series rules: blocking calls reachable in async code,
+orphaned tasks, cancellation-unsafe acquire/release spans,
+await-spanning races, determinism-replay violations (including a
+static re-proof of the MacArbiter zero-draw-when-uncontended
+guarantee), and unbounded queues.
+
+Runtime counterpart: :mod:`repro.core.loopwatch` (``REPRO_LOOPWATCH=1``)
+corroborates C001 dynamically by measuring event-loop lag.
+
+Public entry point: :func:`analyze_paths`.  The CLI lives in
+``tools/reproasync/__main__.py`` (``python -m tools.reproasync``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from tools.analysis_common import selected_by_prefix
+from tools.reproasync.model import (
+    RULES,
+    Baseline,
+    Finding,
+    is_suppressed,
+    suppressions,
+)
+from tools.reproasync.rules import check_concurrency
+from tools.reproasync.taskgraph import AsyncGraph, build_async_graph
+from tools.reproflow.project import ProjectIndex
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "Baseline",
+    "AnalysisResult",
+    "analyze_paths",
+    "build_report",
+]
+
+
+@dataclass
+class AnalysisResult:
+    """Findings plus the async task graph one run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    #: findings matched by ``--baseline`` (reported but non-fatal)
+    baselined: list[Finding] = field(default_factory=list)
+    index: ProjectIndex | None = None
+    graph: AsyncGraph | None = None
+    #: determinism proof records (obligation/symbol/status)
+    proofs: list[dict[str, str]] = field(default_factory=list)
+    #: (path, line, message) parse failures
+    errors: list[tuple[str, int, str]] = field(default_factory=list)
+
+
+def analyze_paths(
+    paths: list[str],
+    *,
+    select: tuple[str, ...] | None = None,
+    strict_dirs: tuple[str, ...] | None = None,
+    baseline: Baseline | None = None,
+) -> AnalysisResult:
+    """Analyze ``paths`` and return findings + the async task graph.
+
+    Pragma suppressions and ``select`` filtering are applied here;
+    ``baseline`` (if given) partitions surviving findings into new vs.
+    acknowledged.
+    """
+    index = ProjectIndex.build(paths)
+    graph = build_async_graph(index)
+    findings, proofs = check_concurrency(graph, strict_dirs=strict_dirs)
+
+    pragma_cache: dict[str, tuple[dict[int, set[str]], set[str]]] = {}
+    kept: list[Finding] = []
+    for f in findings:
+        if not selected_by_prefix(f.code, select):
+            continue
+        if f.path not in pragma_cache:
+            source = ""
+            for mod in index.modules.values():
+                if mod.path == f.path:
+                    source = mod.source
+                    break
+            pragma_cache[f.path] = suppressions(source)
+        per_line, per_file = pragma_cache[f.path]
+        if not is_suppressed(f, per_line, per_file):
+            kept.append(f)
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+
+    result = AnalysisResult(
+        index=index,
+        graph=graph,
+        proofs=proofs,
+        errors=list(index.errors),
+    )
+    if baseline is not None:
+        result.findings, result.baselined = baseline.split(kept)
+    else:
+        result.findings = kept
+    return result
+
+
+def build_report(result: AnalysisResult) -> dict[str, object]:
+    """Machine-readable report: findings + the async call graph."""
+    import ast
+
+    graph_json: dict[str, object] = {}
+    index = result.index
+    graph = result.graph
+    if index is not None and graph is not None:
+        spawns_by_fn: dict[str, list[dict[str, object]]] = {}
+        for site in graph.spawns:
+            spawns_by_fn.setdefault(site.spawner, []).append(
+                {"target": site.target, "kind": site.kind, "count": site.count}
+            )
+        for fq in sorted(index.functions):
+            fn = index.functions[fq]
+            graph_json[fq] = {
+                "path": fn.path.replace("\\", "/"),
+                "line": fn.node.lineno,
+                "is_async": isinstance(fn.node, ast.AsyncFunctionDef),
+                "calls": sorted(graph.edges.get(fq, ())),
+                "spawns": sorted(
+                    spawns_by_fn.get(fq, []),
+                    key=lambda s: (str(s["target"]), str(s["kind"])),
+                ),
+                "task_instances": graph.task_roots.get(fq, 0),
+                "concurrency_weight": graph.weights.get(fq, 0),
+            }
+    by_code: dict[str, int] = {}
+    for f in result.findings:
+        by_code[f.code] = by_code.get(f.code, 0) + 1
+    n_async = sum(1 for g in graph_json.values() if g["is_async"])  # type: ignore[index]
+    return {
+        "tool": "reproasync",
+        "rules": RULES,
+        "findings": [f.to_json() for f in result.findings],
+        "baselined": [f.to_json() for f in result.baselined],
+        "call_graph": graph_json,
+        "task_roots": dict(sorted(result.graph.task_roots.items()))
+        if result.graph is not None
+        else {},
+        "pool_roots": dict(sorted(result.graph.pool_roots.items()))
+        if result.graph is not None
+        else {},
+        "proofs": sorted(result.proofs, key=lambda p: p["symbol"]),
+        "summary": {
+            "findings": len(result.findings),
+            "baselined": len(result.baselined),
+            "by_code": dict(sorted(by_code.items())),
+            "functions": len(graph_json),
+            "async_functions": n_async,
+            "spawn_sites": len(result.graph.spawns) if result.graph else 0,
+            "proofs_proved": sum(
+                1 for p in result.proofs if p["status"] == "proved"
+            ),
+            "parse_errors": len(result.errors),
+        },
+    }

@@ -1,0 +1,102 @@
+"""Finding model, rule catalog, pragmas, and baselines for reproasync.
+
+reproasync is the concurrency pillar of the static-analysis suite: it
+shares the pragma grammar, baseline format, ``--select`` semantics and
+exit codes with reprolint/reproflow/reproshape via
+:mod:`tools.analysis_common`, and binds the ``reproasync`` tool prefix
+(``# reproasync: disable=C001``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from tools.analysis_common import (
+    BaselineBase,
+    finding_fingerprint,
+    is_code_suppressed,
+    parse_suppressions,
+)
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "Baseline",
+    "suppressions",
+    "is_suppressed",
+]
+
+#: code -> one-line description (shown by ``--list-rules``; the full
+#: catalog with rationale lives in docs/STATIC_ANALYSIS.md).
+RULES: dict[str, str] = {
+    "C001": (
+        "blocking call reachable inside an async def without "
+        "to_thread/executor hand-off"
+    ),
+    "C002": (
+        "orphaned coroutine/task: spawned task dropped or gathered "
+        "exceptions silently discarded"
+    ),
+    "C003": (
+        "cancellation-unsafe resource: await between acquire and release "
+        "without try/finally"
+    ),
+    "C004": (
+        "async race: shared state read and written across an await "
+        "boundary from multiple tasks without a lock"
+    ),
+    "C005": (
+        "determinism-replay violation: seeded Generator drawn from "
+        "multiple tasks, or a zero-draw guarantee dropped"
+    ),
+    "C006": "unbounded asyncio.Queue in a strict directory",
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule hit: location, code, message, enclosing symbol."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    #: dotted module + qualname of the enclosing function ("" at module
+    #: scope); part of the baseline fingerprint.
+    symbol: str = ""
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def fingerprint(self) -> str:
+        """Line-number-independent identity used by baseline files."""
+        return finding_fingerprint(self.path, self.code, self.symbol, self.message)
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "path": self.path.replace("\\", "/"),
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "symbol": self.symbol,
+            "fingerprint": self.fingerprint(),
+        }
+
+
+def suppressions(source: str) -> tuple[dict[int, set[str]], set[str]]:
+    """Per-line and file-level ``# reproasync: disable`` pragmas."""
+    return parse_suppressions(source, "reproasync")
+
+
+def is_suppressed(
+    finding: Finding, per_line: dict[int, set[str]], per_file: set[str]
+) -> bool:
+    return is_code_suppressed(finding.code, finding.line, per_line, per_file)
+
+
+class Baseline(BaselineBase):
+    """Acknowledged reproasync findings, keyed by fingerprint."""
+
+    TOOL = "reproasync"

@@ -1,0 +1,671 @@
+"""Async task graph: spawn edges, task roots, and ordered event streams.
+
+Extends reproflow's :class:`~tools.reproflow.project.ProjectIndex` with
+the concurrency structure the C-rules need:
+
+* **Extended call resolution** — reproflow resolves ``self.method()``
+  and calls on locals built from project-class constructors; here we
+  additionally resolve one-level instance attributes (``self.mac`` set
+  in ``__init__`` or declared as an annotated/dataclass field), so
+  ``self.mac.arbitrate()`` produces a real edge.
+* **Async spawn sites** — ``asyncio.create_task`` / ``ensure_future`` /
+  ``gather(coro(), ...)`` / ``asyncio.run(main())`` call sites with the
+  target coroutine resolved and an *instance multiplicity* (a spawn
+  inside a loop or comprehension counts as two instances).
+* **Ordered event streams** — a per-function, execution-ordered list of
+  ``await`` / shared-state ``read`` / ``write`` / RNG ``draw`` events
+  with lock-region tracking, consumed by C003/C004/C005.
+
+Resolution stays conservative in reproflow's spirit: an edge or a
+shared-state key is recorded only when it can be identified
+syntactically; anything else produces no event rather than a guess.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections import deque
+from dataclasses import dataclass, field
+
+from tools.reproflow.project import (
+    FunctionInfo,
+    ModuleInfo,
+    ProjectIndex,
+    _dotted,
+    local_instance_map,
+    resolve_call,
+)
+from tools.reproflow.purity import _local_bindings, worker_roots
+
+__all__ = [
+    "SpawnSite",
+    "Event",
+    "AsyncGraph",
+    "build_async_graph",
+    "chain_of",
+    "resolved_dotted",
+    "is_rng_chain",
+    "DRAW_METHODS",
+]
+
+#: numpy Generator draw methods (all consume RNG state).
+DRAW_METHODS = frozenset(
+    {
+        "random",
+        "integers",
+        "normal",
+        "standard_normal",
+        "uniform",
+        "choice",
+        "shuffle",
+        "permutation",
+        "exponential",
+        "rayleigh",
+        "poisson",
+        "binomial",
+        "bytes",
+    }
+)
+
+#: method names that mutate their receiver in place (shared with
+#: reproflow's purity pass, plus queue primitives).
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "clear",
+        "remove",
+        "discard",
+        "sort",
+        "reverse",
+        "put_nowait",
+        "move_to_end",
+    }
+)
+
+_SPAWN_ATTRS = frozenset({"create_task", "ensure_future"})
+_RNG_RE = re.compile(r"rng|random", re.IGNORECASE)
+_LOCK_RE = re.compile(r"lock|sem|mutex", re.IGNORECASE)
+
+
+def chain_of(node: ast.expr) -> list[str] | None:
+    """``a.b[i].c`` -> ``["a", "b", "c"]`` (subscripts collapse onto
+    their base); ``None`` when the chain is not rooted at a Name."""
+    parts: list[str] = []
+    while True:
+        if isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Name):
+            parts.append(node.id)
+            return list(reversed(parts))
+        else:
+            return None
+
+
+def resolved_dotted(mod: ModuleInfo, node: ast.expr) -> str:
+    """Dotted call target with the head mapped through module imports:
+    ``sleep`` (from ``from time import sleep``) -> ``time.sleep``."""
+    dotted = _dotted(node)
+    if not dotted:
+        return ""
+    head, _, rest = dotted.partition(".")
+    target = mod.imports.get(head)
+    if target is None:
+        return dotted
+    return f"{target}.{rest}" if rest else target
+
+
+def is_rng_chain(chain: list[str]) -> bool:
+    """Does the receiver chain name a random Generator (rng-ish)?"""
+    return bool(chain) and _RNG_RE.search(chain[-1]) is not None
+
+
+def _ann_class(index: ProjectIndex, mod: ModuleInfo, ann: ast.expr | None) -> str | None:
+    """Annotation expression -> project class fq (Optional unwrapped)."""
+    if ann is None:
+        return None
+    if isinstance(ann, ast.BinOp) and isinstance(ann.op, ast.BitOr):
+        return _ann_class(index, mod, ann.left) or _ann_class(index, mod, ann.right)
+    if isinstance(ann, ast.Subscript):
+        base = ann.value
+        if isinstance(base, ast.Name) and base.id == "Optional":
+            return _ann_class(index, mod, ann.slice)
+        return None
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        text = ann.value.strip().split("[")[0].split("|")[0].strip()
+        fq = index.resolve_symbol(mod, text)
+        return fq if fq in index.classes else None
+    fq = index.resolve_symbol(mod, _dotted(ann))
+    return fq if fq in index.classes else None
+
+
+def class_attr_instances(index: ProjectIndex) -> dict[str, str]:
+    """``"pkg.Cls.attr" -> instance class fq`` for attributes assigned
+    from a project-class constructor in any method (``self.mac =
+    MacArbiter(...)``) or declared as annotated class/dataclass fields
+    (``pipeline: TagPipeline``)."""
+    out: dict[str, str] = {}
+    for ci in index.classes.values():
+        mod = index.modules.get(ci.module)
+        if mod is None:
+            continue
+        for item in ci.node.body:
+            if isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+                target_cls = _ann_class(index, mod, item.annotation)
+                if target_cls is not None:
+                    out[f"{ci.fq}.{item.target.id}"] = target_cls
+        for method in ci.methods:
+            fn = mod.functions.get(f"{ci.name}.{method}")
+            if fn is None:
+                continue
+            for node in ast.walk(fn.node):
+                if not (isinstance(node, ast.Assign) and isinstance(node.value, ast.Call)):
+                    continue
+                target_cls = index.resolve_symbol(mod, _dotted(node.value.func))
+                if target_cls not in index.classes:
+                    continue
+                for t in node.targets:
+                    if (
+                        isinstance(t, ast.Attribute)
+                        and isinstance(t.value, ast.Name)
+                        and t.value.id == "self"
+                    ):
+                        out[f"{ci.fq}.{t.attr}"] = target_cls
+    return out
+
+
+def resolve_call_ex(
+    index: ProjectIndex,
+    mod: ModuleInfo,
+    fn: FunctionInfo,
+    node: ast.Call,
+    local_instances: dict[str, str],
+    attr_instances: dict[str, str],
+) -> FunctionInfo | None:
+    """reproflow's resolve_call, plus instance-attribute chains:
+    ``self.mac.arbitrate()`` and ``session.pipeline.decode()`` resolve
+    when each hop is a known class attribute."""
+    target = resolve_call(index, mod, fn, node, local_instances)
+    if target is not None:
+        return target
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    chain = chain_of(func)
+    if chain is None or len(chain) < 3:
+        return None
+    root, *attrs, method = chain
+    cls_fq = local_instances.get(root) or mod.module_instances.get(root)
+    if cls_fq is None:
+        return None
+    for attr in attrs:
+        cls_fq = attr_instances.get(f"{cls_fq}.{attr}")
+        if cls_fq is None:
+            return None
+    return index.function_at(f"{cls_fq}.{method}")
+
+
+# ----------------------------------------------------------------------
+# spawn sites
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SpawnSite:
+    """One async fan-out call site with a resolved target."""
+
+    spawner: str  #: fq of the function containing the call
+    target: str  #: fq of the spawned coroutine function
+    kind: str  #: create_task | ensure_future | gather | run
+    node: ast.Call
+    count: int  #: instance multiplicity (2 = spawned in a loop/comp)
+    #: the coroutine-construction expression (``worker()`` inside
+    #: ``create_task(worker())``) — syntactically a call, but it only
+    #: builds the coroutine, so it is excluded from execution closures
+    arg_node: ast.expr | None = None
+
+
+def _taskgroup_locals(fn: FunctionInfo) -> set[str]:
+    """Locals bound to an ``asyncio.TaskGroup()`` (supervised spawns)."""
+    names: set[str] = set()
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            if _dotted(node.value.func).endswith("TaskGroup"):
+                for t in node.targets:
+                    if isinstance(t, ast.Name):
+                        names.add(t.id)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if (
+                    isinstance(item.context_expr, ast.Call)
+                    and _dotted(item.context_expr.func).endswith("TaskGroup")
+                    and isinstance(item.optional_vars, ast.Name)
+                ):
+                    names.add(item.optional_vars.id)
+    return names
+
+
+def iter_region_calls(
+    fn_node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> list[tuple[ast.Call, bool]]:
+    """All Call nodes in the function's own execution region (nested
+    def bodies excluded, lambdas included) with an ``in_loop`` flag."""
+    out: list[tuple[ast.Call, bool]] = []
+
+    def visit(node: ast.AST, in_loop: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            child_in_loop = in_loop
+            if isinstance(node, (ast.For, ast.While, ast.AsyncFor)) and child in (
+                *node.body,
+                *getattr(node, "orelse", []),
+            ):
+                child_in_loop = True
+            if isinstance(child, ast.Call):
+                out.append((child, child_in_loop))
+            if isinstance(
+                child, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for sub in ast.walk(child):
+                    if isinstance(sub, ast.Call):
+                        out.append((sub, True))
+                continue
+            visit(child, child_in_loop)
+
+    visit(fn_node, False)
+    return out
+
+
+def _spawn_target(
+    index: ProjectIndex,
+    mod: ModuleInfo,
+    fn: FunctionInfo,
+    arg: ast.expr,
+    local_instances: dict[str, str],
+    attr_instances: dict[str, str],
+) -> tuple[FunctionInfo | None, bool, ast.expr | None]:
+    """Resolve a spawned-coroutine argument; returns
+    (target, in_comprehension, construction node)."""
+    if isinstance(arg, ast.Starred):
+        arg = arg.value
+    if isinstance(arg, (ast.ListComp, ast.GeneratorExp)):
+        target, _, node = _spawn_target(
+            index, mod, fn, arg.elt, local_instances, attr_instances
+        )
+        return target, True, node
+    if isinstance(arg, ast.Call):
+        return (
+            resolve_call_ex(index, mod, fn, arg, local_instances, attr_instances),
+            False,
+            arg,
+        )
+    if isinstance(arg, ast.Name):
+        nested = f"{fn.qualname}.{arg.id}"
+        if nested in mod.functions:
+            return mod.functions[nested], False, arg
+        fq = index.resolve_symbol(mod, arg.id)
+        if fq is not None and fq in index.functions:
+            return index.functions[fq], False, arg
+    return None, False, None
+
+
+def collect_spawns(
+    index: ProjectIndex, attr_instances: dict[str, str]
+) -> list[SpawnSite]:
+    """Every resolved async spawn site in the project."""
+    sites: list[SpawnSite] = []
+    for mod in index.modules.values():
+        for fn in mod.functions.values():
+            local_instances = local_instance_map(index, mod, fn)
+            for call, in_loop in iter_region_calls(fn.node):
+                func = call.func
+                kind: str | None = None
+                if isinstance(func, ast.Attribute) and func.attr in _SPAWN_ATTRS:
+                    kind = func.attr
+                elif isinstance(func, ast.Attribute) and func.attr == "gather":
+                    kind = "gather"
+                else:
+                    dotted = resolved_dotted(mod, func)
+                    if dotted in ("asyncio.create_task", "asyncio.ensure_future"):
+                        kind = dotted.rsplit(".", 1)[-1]
+                    elif dotted == "asyncio.gather":
+                        kind = "gather"
+                    elif dotted == "asyncio.run":
+                        kind = "run"
+                if kind is None:
+                    continue
+                spawn_args = call.args if kind == "gather" else call.args[:1]
+                for arg in spawn_args:
+                    target, in_comp, arg_node = _spawn_target(
+                        index, mod, fn, arg, local_instances, attr_instances
+                    )
+                    if target is None:
+                        continue
+                    sites.append(
+                        SpawnSite(
+                            spawner=fn.fq,
+                            target=target.fq,
+                            kind=kind,
+                            node=call,
+                            count=2 if (in_loop or in_comp) else 1,
+                            arg_node=arg_node,
+                        )
+                    )
+    return sites
+
+
+# ----------------------------------------------------------------------
+# event streams
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Event:
+    """One execution-ordered event inside a function body."""
+
+    kind: str  #: await | read | write | draw
+    key: str | None  #: shared-state key ("pkg.Cls::attr.chain"), None for await
+    node: ast.AST
+    locked: bool  #: inside a with-block whose context names a lock
+
+
+class _SharedKeys:
+    """Resolves expressions to shared-state keys for one function.
+
+    Shared means observable from another task: ``self``/``cls``
+    attributes, attributes of annotated-parameter or module-level
+    project instances, and module globals.  Locals constructed inside
+    the function (fresh per invocation) are *not* shared.
+    """
+
+    def __init__(self, index: ProjectIndex, mod: ModuleInfo, fn: FunctionInfo) -> None:
+        self.mod = mod
+        self.fn = fn
+        self.locals = _local_bindings(fn)
+        self.param_instances: dict[str, str] = {}
+        for a in [
+            *fn.node.args.posonlyargs,
+            *fn.node.args.args,
+            *fn.node.args.kwonlyargs,
+        ]:
+            cls_fq = _ann_class(index, mod, a.annotation)
+            if cls_fq is not None:
+                self.param_instances[a.arg] = cls_fq
+
+    def key_for(self, chain: list[str]) -> str | None:
+        root, attrs = chain[0], chain[1:]
+        if root in ("self", "cls"):
+            if self.fn.cls is None or not attrs:
+                return None
+            return f"{self.fn.module}.{self.fn.cls}::{'.'.join(attrs)}"
+        if attrs:
+            cls_fq = self.param_instances.get(root) or self.mod.module_instances.get(
+                root
+            )
+            if cls_fq is not None:
+                return f"{cls_fq}::{'.'.join(attrs)}"
+        if root not in self.locals and root in self.mod.module_level_names:
+            return f"{self.mod.name}::{'.'.join(chain)}"
+        return None
+
+
+class _EventScanner:
+    """Linear-order event extraction (branches scanned in source order)."""
+
+    def __init__(self, index: ProjectIndex, mod: ModuleInfo, fn: FunctionInfo) -> None:
+        self.keys = _SharedKeys(index, mod, fn)
+        self.fn = fn
+        self.events: list[Event] = []
+        self.lock_depth = 0
+
+    def run(self) -> list[Event]:
+        self._stmts(self.fn.node.body)
+        return self.events
+
+    def _emit(self, kind: str, key: str | None, node: ast.AST) -> None:
+        self.events.append(Event(kind, key, node, self.lock_depth > 0))
+
+    # -- statements -------------------------------------------------------
+    def _stmts(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return
+        if isinstance(stmt, ast.Assign):
+            self._expr(stmt.value)
+            for t in stmt.targets:
+                self._store(t)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._expr(stmt.value)
+                self._store(stmt.target)
+        elif isinstance(stmt, ast.AugAssign):
+            self._expr(stmt.value)
+            chain = chain_of(stmt.target)
+            key = self.keys.key_for(chain) if chain else None
+            if key is not None:
+                self._emit("read", key, stmt.target)
+                self._emit("write", key, stmt.target)
+        elif isinstance(stmt, (ast.Expr, ast.Return)):
+            if stmt.value is not None:
+                self._expr(stmt.value)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self._expr(stmt.test)
+            self._stmts(stmt.body)
+            self._stmts(stmt.orelse)
+        elif isinstance(stmt, ast.For):
+            self._expr(stmt.iter)
+            self._stmts(stmt.body)
+            self._stmts(stmt.orelse)
+        elif isinstance(stmt, ast.AsyncFor):
+            self._expr(stmt.iter)
+            self._emit("await", None, stmt)
+            self._stmts(stmt.body)
+            self._stmts(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            holds_lock = False
+            for item in stmt.items:
+                self._expr(item.context_expr)
+                chain = chain_of(item.context_expr) or (
+                    chain_of(item.context_expr.func)
+                    if isinstance(item.context_expr, ast.Call)
+                    else None
+                )
+                if chain and _LOCK_RE.search(".".join(chain)):
+                    holds_lock = True
+            if isinstance(stmt, ast.AsyncWith):
+                self._emit("await", None, stmt)
+            if holds_lock:
+                self.lock_depth += 1
+            self._stmts(stmt.body)
+            if holds_lock:
+                self.lock_depth -= 1
+        elif isinstance(stmt, ast.Try):
+            self._stmts(stmt.body)
+            for handler in stmt.handlers:
+                self._stmts(handler.body)
+            self._stmts(stmt.orelse)
+            self._stmts(stmt.finalbody)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._expr(stmt.exc)
+        elif isinstance(stmt, ast.Assert):
+            self._expr(stmt.test)
+        elif isinstance(stmt, ast.Match):
+            self._expr(stmt.subject)
+            for case in stmt.cases:
+                self._stmts(case.body)
+        # Pass/Break/Continue/Import/Global/Nonlocal/Delete: no events
+
+    def _store(self, target: ast.expr) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._store(elt)
+            return
+        if isinstance(target, ast.Starred):
+            self._store(target.value)
+            return
+        if isinstance(target, ast.Subscript):
+            self._expr(target.slice)
+        chain = chain_of(target)
+        if chain is None:
+            return
+        key = self.keys.key_for(chain)
+        if key is not None:
+            self._emit("write", key, target)
+
+    # -- expressions ------------------------------------------------------
+    def _expr(self, node: ast.expr) -> None:
+        if isinstance(node, ast.Await):
+            self._expr(node.value)
+            self._emit("await", None, node)
+            return
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            if getattr(node, "value", None) is not None:
+                self._expr(node.value)  # type: ignore[arg-type]
+            if isinstance(self.fn.node, ast.AsyncFunctionDef):
+                self._emit("await", None, node)  # async-gen suspension point
+            return
+        if isinstance(node, ast.Call):
+            self._call(node)
+            return
+        if isinstance(node, (ast.Attribute, ast.Name)):
+            chain = chain_of(node)
+            key = self.keys.key_for(chain) if chain else None
+            if key is not None:
+                self._emit("read", key, node)
+            elif isinstance(node, ast.Attribute):
+                self._expr(node.value)
+            return
+        if isinstance(node, ast.Subscript):
+            self._expr(node.value)
+            self._expr(node.slice)
+            return
+        if isinstance(node, ast.Lambda):
+            return  # body executes later, in an unknown order
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._expr(child)
+            elif isinstance(child, ast.comprehension):
+                self._expr(child.iter)
+                for cond in child.ifs:
+                    self._expr(cond)
+            elif isinstance(child, ast.FormattedValue):
+                self._expr(child.value)
+
+    def _call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            chain = chain_of(func.value)
+            key = self.keys.key_for(chain) if chain else None
+            if key is not None:
+                if func.attr in DRAW_METHODS and is_rng_chain(chain or []):
+                    self._emit("draw", key, node)
+                elif func.attr in MUTATING_METHODS:
+                    self._emit("read", key, node)
+                    self._emit("write", key, node)
+                else:
+                    self._emit("read", key, node)
+            elif isinstance(func.value, (ast.Call, ast.Subscript, ast.Attribute)):
+                self._expr(func.value)
+        for arg in node.args:
+            self._expr(arg.value if isinstance(arg, ast.Starred) else arg)
+        for kw in node.keywords:
+            self._expr(kw.value)
+
+
+# ----------------------------------------------------------------------
+# the graph
+# ----------------------------------------------------------------------
+@dataclass
+class AsyncGraph:
+    """Everything the C-rules consume, built once per analysis."""
+
+    index: ProjectIndex
+    attr_instances: dict[str, str] = field(default_factory=dict)
+    spawns: list[SpawnSite] = field(default_factory=list)
+    #: async task roots -> instance multiplicity (capped at 2)
+    task_roots: dict[str, int] = field(default_factory=dict)
+    #: process/thread-pool roots (reproflow F-series spawn edges)
+    pool_roots: dict[str, int] = field(default_factory=dict)
+    #: fq -> extended outgoing edges (calls + refs + spawns + attr-chain);
+    #: the full graph, reported as-is in the JSON artifact
+    edges: dict[str, set[str]] = field(default_factory=dict)
+    #: fq -> *execution* edges only: resolved calls minus the
+    #: coroutine-construction calls inside spawn sites (building
+    #: ``worker()`` for ``create_task`` does not run its body here)
+    exec_edges: dict[str, set[str]] = field(default_factory=dict)
+    #: fq -> summed instance weight over all roots reaching it
+    weights: dict[str, int] = field(default_factory=dict)
+    #: fq -> ordered event stream (lazily filled)
+    _events: dict[str, list[Event]] = field(default_factory=dict)
+
+    def events(self, fq: str) -> list[Event]:
+        if fq not in self._events:
+            fn = self.index.functions[fq]
+            mod = self.index.modules[fn.module]
+            self._events[fq] = _EventScanner(self.index, mod, fn).run()
+        return self._events[fq]
+
+    def closure(self, root: str) -> set[str]:
+        """Functions executed *within* one instance of ``root`` (spawn
+        targets run in their own task, so spawn edges are not followed)."""
+        seen: set[str] = set()
+        queue = deque([root])
+        while queue:
+            fq = queue.popleft()
+            if fq in seen or fq not in self.index.functions:
+                continue
+            seen.add(fq)
+            queue.extend(self.exec_edges.get(fq, ()))
+        return seen
+
+
+def build_async_graph(index: ProjectIndex) -> AsyncGraph:
+    graph = AsyncGraph(index=index)
+    graph.attr_instances = class_attr_instances(index)
+    graph.spawns = collect_spawns(index, graph.attr_instances)
+    spawn_arg_ids = {id(s.arg_node) for s in graph.spawns if s.arg_node is not None}
+
+    for mod in index.modules.values():
+        for fn in mod.functions.values():
+            local_instances = local_instance_map(index, mod, fn)
+            execs: set[str] = set()
+            for call, _ in iter_region_calls(fn.node):
+                if id(call) in spawn_arg_ids:
+                    continue
+                target = resolve_call_ex(
+                    index, mod, fn, call, local_instances, graph.attr_instances
+                )
+                if target is not None:
+                    execs.add(target.fq)
+            graph.exec_edges[fn.fq] = execs
+            # full graph for the report: reproflow's edges + ours + spawns
+            edges = set(fn.calls) | set(fn.references) | set(fn.spawn_targets)
+            edges |= execs
+            graph.edges[fn.fq] = {e for e in edges if e in index.functions}
+    for site in graph.spawns:
+        graph.edges.setdefault(site.spawner, set()).add(site.target)
+
+    # roots: async spawn targets (with multiplicity) + pool workers
+    for site in graph.spawns:
+        if site.target in index.functions:
+            prev = graph.task_roots.get(site.target, 0)
+            graph.task_roots[site.target] = min(2, prev + site.count)
+    for fq in worker_roots(index):
+        graph.pool_roots[fq] = 2  # pools fan out by design
+
+    # instance weight: how many concurrent task instances can reach fq
+    for root, count in (*graph.task_roots.items(), *graph.pool_roots.items()):
+        for fq in graph.closure(root):
+            graph.weights[fq] = graph.weights.get(fq, 0) + count
+    return graph
