@@ -50,14 +50,15 @@ smoke:
 	REPRO_WORKERS=2 $(PYTHON) -m repro run-all --preset quick --out runs/smoke
 	$(PYTHON) tools/check_artifacts.py runs/smoke --expect-all
 
-# Streaming gateway smoke: 8 tags, 2 subscribers, block policy; fails
-# on any drop, eviction, consumer error, event-loop lag violation, or
-# unclean drain (the CI gateway smoke step).  Runs under asyncio debug
-# mode with the loopwatch sanitizer armed.
+# Streaming gateway smoke: 8 tags, 2 subscribers, block policy,
+# 2 decode workers (the sharded data plane crosses the executor hop);
+# fails on any drop, eviction, consumer error, event-loop lag
+# violation, or unclean drain (the CI gateway smoke step).  Runs under
+# asyncio debug mode with the loopwatch sanitizer armed.
 serve-smoke:
 	PYTHONASYNCIODEBUG=1 REPRO_LOOPWATCH=1 \
 		$(PYTHON) -m repro serve --tags 8 --subscribers 2 --max-packets 32 \
-		--policy block --require-clean
+		--decode-workers 2 --policy block --require-clean
 
 # Crash a run mid-save with the fault-injection harness, resume it,
 # and require byte-identity with an undisturbed run
@@ -77,10 +78,13 @@ bench:
 bench-primitives:
 	$(PYTHON) benchmarks/run_benchmarks.py
 
-# Gateway load sweep alone: concurrent tags vs p99 decode latency
-# (prints the BENCH_gateway.json payload without touching baselines).
+# Gateway load sweep alone: concurrent tags vs p99 decode latency,
+# doubling past the configured points until the budget breaks, plus
+# the decode-worker (tags-per-host) sweep (prints the
+# BENCH_gateway.json payload without touching baselines).
 bench-gateway:
-	PYTHONPATH=src $(PYTHON) benchmarks/bench_gateway.py
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_gateway.py \
+		--rounds 3 --max-tags 256
 
 # Timers/counters/cache hit-rates of one representative experiment.
 perf-report:

@@ -16,10 +16,14 @@ writes ``BENCH_e2e.json``.  Two gates apply to it:
   ``--regression-factor`` against the committed baseline.
 
 It then runs ``benchmarks/bench_gateway.py`` -- the streaming-gateway
-load sweep (concurrent tags vs p99 decode latency) -- and writes
-``BENCH_gateway.json``.  Its gate: the recorded ``tags_per_core``
-capacity must not shrink against the committed baseline, and no sweep
-point's p99 latency may regress beyond ``--regression-factor``.
+load sweep (concurrent tags vs p99 decode latency, plus the
+decode-worker tags-per-host sweep) -- and writes
+``BENCH_gateway.json``.  Its gates: the recorded ``tags_per_core``
+capacity must not shrink against the committed baseline, no sweep
+point's p99 latency may regress beyond ``--regression-factor``, and
+the sharded data plane must deliver at least ``--gateway-min-speedup``
+(default 2x) the packets/sec of a single decode worker at the
+capacity tag count.
 
 If a committed baseline already exists, every fresh mean time is
 compared against it first: a slowdown beyond ``--regression-factor``
@@ -225,14 +229,42 @@ def _run_gateway_sweep() -> dict[str, object]:
     return module.run_sweep()
 
 
+def _gateway_speedup_enforceable(payload: dict[str, object]) -> bool:
+    """True when the host can physically express the worker speedup."""
+    points = payload.get("worker_sweep") or []
+    if not points:
+        return False
+    largest_pool = max(int(p["decode_workers"]) for p in points)  # type: ignore[index]
+    return int(payload.get("host_cores", 0)) >= largest_pool
+
+
 def _check_gateway(
-    payload: dict[str, object], *, regression_factor: float
+    payload: dict[str, object],
+    *,
+    regression_factor: float,
+    min_speedup: float,
 ) -> list[str]:
-    """Capacity must not shrink; per-point p99 must not blow up."""
-    if not GATEWAY_OUTPUT.exists():
-        return []
-    baseline = json.loads(GATEWAY_OUTPUT.read_text())
+    """Capacity must not shrink; p99 must not blow up; shards must pay.
+
+    Baselines written before the worker sweep existed lack the
+    ``decode_speedup`` key; only the freshly measured payload is gated
+    on it, so old baselines stay readable.  The speedup floor only
+    applies on hosts with at least as many cores as the largest swept
+    pool -- process-level parallelism cannot beat the core count, so
+    on a smaller host the sweep is recorded but the floor is skipped
+    (with a notice from ``main``).
+    """
     failures = []
+    speedup = float(payload.get("decode_speedup", 0.0))
+    if _gateway_speedup_enforceable(payload) and speedup < min_speedup:
+        failures.append(
+            f"sharded decode throughput only {speedup:.2f}x a single "
+            f"worker at {payload.get('worker_sweep_tags')} tags "
+            f"(floor: {min_speedup:.2f}x)"
+        )
+    if not GATEWAY_OUTPUT.exists():
+        return failures
+    baseline = json.loads(GATEWAY_OUTPUT.read_text())
     base_capacity = int(baseline.get("tags_per_core", 0))
     capacity = int(payload["tags_per_core"])
     if capacity < base_capacity:
@@ -276,6 +308,13 @@ def main(argv: list[str] | None = None) -> int:
         default=3.0,
         help="fail if batched decode is not at least this many times the "
         "per-packet packets/sec (default 3)",
+    )
+    parser.add_argument(
+        "--gateway-min-speedup",
+        type=float,
+        default=2.0,
+        help="fail if the sharded gateway data plane is not at least this "
+        "many times a single decode worker's packets/sec (default 2)",
     )
     args = parser.parse_args(argv)
 
@@ -331,13 +370,34 @@ def main(argv: list[str] | None = None) -> int:
 
     gateway_payload = _run_gateway_sweep()
     gateway_failures = _check_gateway(
-        gateway_payload, regression_factor=args.regression_factor
+        gateway_payload,
+        regression_factor=args.regression_factor,
+        min_speedup=args.gateway_min_speedup,
     )
+    bound = " (sweep exhausted)" if gateway_payload.get("sweep_exhausted") else ""
     print(
         "gateway capacity: "
         f"{gateway_payload['tags_per_core']} tags/core within "
-        f"{float(gateway_payload['latency_budget_s']) * 1e3:.0f} ms p99 budget"
+        f"{float(gateway_payload['latency_budget_s']) * 1e3:.0f} ms p99 "
+        f"budget{bound}"
     )
+    if "decode_speedup" in gateway_payload:
+        note = (
+            ""
+            if _gateway_speedup_enforceable(gateway_payload)
+            else (
+                f" (floor skipped: host has "
+                f"{gateway_payload.get('host_cores')} core(s), fewer than "
+                f"the largest pool)"
+            )
+        )
+        print(
+            "gateway sharding: "
+            f"{gateway_payload['decode_speedup']}x packets/sec with "
+            f"{max(int(p['decode_workers']) for p in gateway_payload['worker_sweep'])} "  # type: ignore[union-attr]
+            f"decode workers vs 1 at "
+            f"{gateway_payload['worker_sweep_tags']} tags{note}"
+        )
     if gateway_failures:
         print("GATEWAY GATE FAILURES (vs committed BENCH_gateway.json):")
         for line in gateway_failures:

@@ -281,6 +281,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         keepalive_timeout_s=args.keepalive_timeout,
         queue_maxlen=args.queue_maxlen,
         decode_batch=args.decode_batch,
+        decode_workers=args.decode_workers,
         drain_timeout_s=args.drain_timeout,
     )
     policy = Backpressure(args.policy)
@@ -481,6 +482,11 @@ def main(argv: list[str] | None = None) -> int:
         help="pending receptions per grouped decode dispatch (default 1)",
     )
     serve_p.add_argument(
+        "--decode-workers", type=int, default=0, metavar="N",
+        help="decode worker processes (0 = decode inline on the air "
+        "loop; output is bit-identical at every worker count)",
+    )
+    serve_p.add_argument(
         "--time-scale", type=float, default=0.0, metavar="X",
         help="wall seconds per schedule second (0 = fast-forward, 1 = real time)",
     )
@@ -521,6 +527,9 @@ def main(argv: list[str] | None = None) -> int:
         except ValueError as exc:
             print(str(exc), file=sys.stderr)
             return 2
+    if getattr(args, "decode_workers", 0) < 0:
+        print("--decode-workers must be >= 0", file=sys.stderr)
+        return 2
     if args.command == "list":
         return _cmd_list()
     if args.command == "info":

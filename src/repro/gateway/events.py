@@ -23,9 +23,13 @@ class PacketEvent:
     """One excitation packet's journey through the pipeline.
 
     ``time_s`` is the scheduled (simulation) start of the excitation;
-    ``decode_latency_s`` is the wall-clock cost of the signal path for
+    ``decode_latency_s`` is the wall-clock staged→published cost for
     this packet (the quantity the gateway load test holds against a
-    symbol period).
+    symbol period).  ``stream_seq`` is the gateway-global schedule
+    position (1-based, strictly increasing across every tag): the
+    sharded decode plane republishes through a reordering buffer, and
+    the hub asserts this number never goes backwards, so subscribers
+    can rely on schedule order whatever ``decode_workers`` is.
     """
 
     tag_id: str
@@ -33,6 +37,7 @@ class PacketEvent:
     time_s: float
     outcome: PacketOutcome
     decode_latency_s: float
+    stream_seq: int = 0
 
 
 @dataclass(frozen=True)

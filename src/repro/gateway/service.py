@@ -19,25 +19,48 @@ subscriber.  Around it:
   per-packet stale scan.  A crashed tag is evicted on the next sweep
   pass; the gateway itself keeps serving.
 
+The data plane is **sharded**: staging (``excite_and_react``) stays
+inline because it consumes per-tag RNG streams and determinism
+requires a single consumer in schedule order, but the RNG-free decode
+stage can run on a pool of worker processes
+(``decode_workers > 0``).  Completed batches are dispatched to the
+pool grouped by receiver config (so the PR-6 batched kernels still
+fuse) while the air loop stages the next batch; a single **publisher
+task** consumes batches from a bounded queue in dispatch order and
+republishes outcomes in schedule order, stamped with a global
+``stream_seq``, so any worker count is bit-identical to
+``decode_workers=1`` and single-tag streams stay byte-identical to
+``run_airlink``.  Decode workers that crash (``REPRO_FAULTS`` site
+``decode``, kind ``kill``) or wedge (``hang`` + ``decode_timeout_s``)
+are replaced and their groups resubmitted — same payloads, bumped
+attempt — so recovery is bit-identical too.
+
 With ``REPRO_LOOPWATCH=1`` the serve loop runs under the
 :mod:`repro.core.loopwatch` event-loop sanitizer; its violation count
 and worst observed lag land in :class:`GatewayStats`.
 
 Latency accounting: the load question is "how many concurrent tags
 per core before p99 decode latency exceeds a symbol period"; every
-packet's wall-clock pipeline cost is recorded in
+packet's **staged→published** wall-clock latency — stage cost plus
+batch wait, dispatch, decode, and reorder-queue time, measured from
+the packet's own enqueue stamp — is recorded in
 :attr:`GatewayStats.decode_latencies_s` and in ``repro.perf`` gauges.
 
 Shutdown is a **graceful drain**: the source stops, queued pipeline
-work is flushed, subscribers are given ``drain_timeout_s`` to consume
-their backlogs, then streams close with a ``drained`` control event.
+work is flushed through the publisher, subscribers are given
+``drain_timeout_s`` to consume their backlogs, then streams close
+with a ``drained`` control event.  On hard cancel the publisher is
+cancelled and the pool force-terminated so no worker outlives the
+gateway.
 """
 
 from __future__ import annotations
 
 import asyncio
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from time import perf_counter
+from typing import Any
 
 import numpy as np
 
@@ -51,7 +74,14 @@ from repro.gateway.sources import AsyncExcitationSource
 from repro.gateway.subscriptions import Backpressure, SubscriptionHub, Subscriber
 from repro.phy.protocols import Protocol
 from repro.sim import faults
-from repro.sim.pipeline import PacketOutcome, PendingReception
+from repro.sim.pipeline import (
+    DecodePayload,
+    PacketOutcome,
+    PendingReception,
+    decode_pending_many,
+    decode_worker_group,
+    pending_to_payload,
+)
 
 __all__ = ["GatewayConfig", "GatewayStats", "Gateway", "run_gateway"]
 
@@ -80,12 +110,34 @@ class GatewayConfig:
     #: decode each packet as it arrives; >1 batches the RNG-free
     #: decode stage without touching draw order).
     decode_batch: int = 1
+    #: Decode worker processes (0 = decode inline on the air loop;
+    #: >0 dispatches batches to a process pool, overlapped with
+    #: staging, bit-identical at every worker count).
+    decode_workers: int = 0
+    #: Wall-clock budget for one dispatched decode group; ``None``
+    #: waits forever.  On expiry the pool is force-replaced and the
+    #: group resubmitted (a hung worker must not wedge the stream).
+    decode_timeout_s: float | None = None
+    #: Resubmissions allowed per decode group after a worker crash or
+    #: hang before the gateway gives up and fails the stream.
+    decode_retries: int = 2
+    #: Dispatched-but-unpublished batches the air loop may run ahead
+    #: of the publisher (bounds memory and decode-pool backlog).
+    max_inflight_batches: int = 8
     #: Grace period for subscribers to empty their queues at shutdown.
     drain_timeout_s: float = 5.0
 
     def __post_init__(self) -> None:
         if self.decode_batch < 1:
             raise ValueError("decode_batch must be >= 1")
+        if self.decode_workers < 0:
+            raise ValueError("decode_workers must be >= 0")
+        if self.decode_timeout_s is not None and self.decode_timeout_s <= 0:
+            raise ValueError("decode_timeout_s must be positive")
+        if self.decode_retries < 0:
+            raise ValueError("decode_retries must be >= 0")
+        if self.max_inflight_batches < 1:
+            raise ValueError("max_inflight_batches must be >= 1")
 
 
 @dataclass
@@ -100,8 +152,14 @@ class GatewayStats:
     n_tag_crashes: int = 0
     n_subscriber_evictions: int = 0
     n_dropped_events: int = 0
+    n_decode_retries: int = 0
+    n_decode_worker_crashes: int = 0
+    n_decode_timeouts: int = 0
     drained_clean: bool = False
     elapsed_s: float = 0.0
+    #: Per-packet staged→published latency: stage cost plus batch
+    #: wait, dispatch, decode and reorder-queue time (each packet is
+    #: stamped when it enters the pending buffer).
     decode_latencies_s: list[float] = field(default_factory=list)
     #: Event-loop sanitizer results (0 unless ``REPRO_LOOPWATCH=1``).
     loopwatch_violations: int = 0
@@ -115,6 +173,64 @@ class GatewayStats:
 
     def packets_per_s(self) -> float:
         return self.n_packets / max(self.elapsed_s, 1e-12)
+
+
+@dataclass
+class _GroupDispatch:
+    """One receiver-config group of a batch, in flight on the pool."""
+
+    payloads: list[DecodePayload]
+    index: int
+    name: str
+    generation: int
+    attempt: int = 1
+    future: asyncio.Future | None = None
+
+
+@dataclass
+class _BatchEntry:
+    """One staged packet inside a dispatched batch.
+
+    ``outcome`` is set for pipeline short-circuits (and, inline, after
+    the loop-side decode); dispatched receptions carry their group and
+    slot instead and resolve when the group's future lands.
+    """
+
+    session: TagSession
+    stage_s: float
+    enqueued_t: float
+    outcome: PacketOutcome | None
+    group: int = -1
+    slot: int = -1
+
+
+@dataclass
+class _PendingBatch:
+    """A dispatched batch travelling through the reordering buffer."""
+
+    entries: list[_BatchEntry]
+    groups: list[_GroupDispatch]
+
+
+def _shutdown_pool(pool: ProcessPoolExecutor, *, force: bool) -> None:
+    """Shut a decode pool down; ``force`` terminates hung workers."""
+    pool.shutdown(wait=not force, cancel_futures=True)
+    if force:
+        processes: Any = getattr(pool, "_processes", None) or {}
+        for proc in list(processes.values()):
+            proc.terminate()
+        for proc in list(processes.values()):
+            proc.join(timeout=5.0)
+
+
+def _mark_retrieved(future: asyncio.Future) -> None:
+    """Keep abandoned dispatch futures from warning at GC time.
+
+    A group resubmitted after a crash, or torn down mid-cancel, leaves
+    its old future behind with an exception nobody will await.
+    """
+    if not future.cancelled():
+        future.exception()
 
 
 class Gateway:
@@ -141,6 +257,14 @@ class Gateway:
         self._stop_requested = False
         self._running = False
         self._now_s = 0.0
+        # -- sharded data plane --
+        self._decode_pool: ProcessPoolExecutor | None = None
+        self._publish_queue: asyncio.Queue[_PendingBatch | None] | None = None
+        self._publisher_task: asyncio.Task | None = None
+        self._dispatch_counter = 0
+        self._stream_seq = 0
+        self._pool_generation = 0
+        self._data_plane_clean = False
 
     # -- clock ------------------------------------------------------------
     def _now(self) -> float:
@@ -316,7 +440,10 @@ class Gateway:
     async def _publish_outcome(
         self, session: TagSession, outcome: PacketOutcome, latency_s: float
     ) -> None:
+        # Only the publisher task calls this, so per-session and
+        # global sequence numbers advance strictly in schedule order.
         session.seq += 1
+        self._stream_seq += 1
         if outcome.backscattered:
             session.n_backscattered += 1
             self.stats.n_backscattered += 1
@@ -329,6 +456,7 @@ class Gateway:
                 time_s=outcome.start_s,
                 outcome=outcome,
                 decode_latency_s=latency_s,
+                stream_seq=self._stream_seq,
             )
         )
         self.stats.n_published += 1
@@ -342,44 +470,233 @@ class Gateway:
                 )
             )
 
-    async def _flush_pending(
+    # -- decode pool ---------------------------------------------------------
+    def _new_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self.config.decode_workers)
+
+    def _submit_group(self, group: _GroupDispatch) -> None:
+        """Dispatch (or resubmit) one receiver-config group to the pool."""
+        pool = self._decode_pool
+        assert pool is not None
+        group.generation = self._pool_generation
+        loop = asyncio.get_running_loop()
+        try:
+            future = loop.run_in_executor(
+                pool,
+                decode_worker_group,
+                group.payloads,
+                group.index,
+                group.name,
+                group.attempt,
+            )
+        except BrokenExecutor as exc:
+            # The pool broke under an earlier group before the
+            # publisher could rebuild it.  Hand the breakage to the
+            # publisher as a pre-failed future so the air loop keeps
+            # staging and the normal crash-recovery path resubmits.
+            future = loop.create_future()
+            future.set_exception(BrokenExecutor(str(exc)))
+        future.add_done_callback(_mark_retrieved)
+        group.future = future
+
+    async def _recover_pool(self, *, force: bool, generation: int) -> None:
+        """Replace a crashed/hung pool once, however many groups failed.
+
+        A worker crash breaks every in-flight future of the pool at
+        once; the generation stamp makes sure only the first failing
+        group pays for the rebuild and later ones just resubmit.  The
+        new pool goes up before the old one is torn down so the air
+        loop can keep dispatching while stuck workers are terminated
+        off-loop.
+        """
+        if generation != self._pool_generation:
+            return
+        old = self._decode_pool
+        assert old is not None
+        self._pool_generation += 1
+        self._decode_pool = self._new_pool()
+        await asyncio.to_thread(_shutdown_pool, old, force=force)
+
+    async def _await_group(self, group: _GroupDispatch) -> list[PacketOutcome]:
+        """Await one group's outcomes, replacing dead workers.
+
+        Crashes surface as :class:`BrokenExecutor`, hangs as a timeout
+        (``decode_timeout_s``), and a pool replaced by a sibling
+        group's recovery as a cancelled future.  Each failure mode
+        resubmits the identical payloads with a bumped attempt, so the
+        ``decode`` fault site's attempt gate releases the retry and
+        the decoded bits are identical to an undisturbed run.
+        """
+        cfg = self.config
+        while True:
+            assert group.future is not None
+            try:
+                return await asyncio.wait_for(group.future, cfg.decode_timeout_s)
+            except asyncio.TimeoutError:
+                self.stats.n_decode_timeouts += 1
+                perf.count("gateway.decode.timeouts")
+                failure, force = "hung", True
+            except BrokenExecutor:
+                self.stats.n_decode_worker_crashes += 1
+                perf.count("gateway.decode.crashes")
+                failure, force = "crashed", False
+            except asyncio.CancelledError:
+                if not group.future.cancelled():
+                    raise  # the gateway itself is being cancelled
+                failure, force = "cancelled with its pool", False
+            if group.attempt > cfg.decode_retries:
+                raise RuntimeError(
+                    f"decode group {group.index} ({group.name}) {failure} on "
+                    f"attempt {group.attempt}; retry budget exhausted"
+                )
+            await self._recover_pool(force=force, generation=group.generation)
+            group.attempt += 1
+            self.stats.n_decode_retries += 1
+            perf.count("gateway.decode.retries")
+            self._submit_group(group)
+
+    def _teardown_pool(self) -> None:
+        pool = self._decode_pool
+        self._decode_pool = None
+        if pool is None:
+            return
+        if self._data_plane_clean:
+            # Every future has resolved; workers exit on their
+            # sentinel without the loop blocking on a join.
+            pool.shutdown(wait=False)
+        else:
+            # Error or hard-cancel path: in-flight futures may hold
+            # live (even wedged) workers -- terminate them so nothing
+            # outlives the gateway.
+            _shutdown_pool(pool, force=True)
+
+    # -- reordering buffer ---------------------------------------------------
+    async def _dispatch_batch(
         self,
-        pending: list[tuple[TagSession, float, PacketOutcome | PendingReception]],
+        pending: list[tuple[TagSession, float, float, PacketOutcome | PendingReception]],
     ) -> None:
-        """Decode buffered receptions with one grouped dispatch.
+        """Hand one staged batch to the publisher, in schedule order.
 
         Ready outcomes (pipeline short-circuits such as identification
-        misses) ride in the same buffer behind queued receptions so
+        misses) ride in the same batch behind queued receptions so
         events always publish in schedule order, whatever
-        ``decode_batch`` is.
+        ``decode_batch`` or the worker count is.  With a pool,
+        receptions are grouped by receiver config — each group is one
+        fused kernel dispatch on a worker — and the loop returns to
+        staging while they decode; inline, the grouped decode runs
+        here as before.
         """
         if not pending:
             return
-        receptions = [
-            (i, item)
-            for i, (_, _, item) in enumerate(pending)
-            if isinstance(item, PendingReception)
-        ]
-        decoded: dict[int, PacketOutcome] = {}
-        decode_s = 0.0
-        if receptions:
-            t0 = perf_counter()
-            # Decoding inline (not in an executor) keeps event order
-            # and draw order deterministic; per-packet kernel cost is
+        entries: list[_BatchEntry] = []
+        receptions: list[tuple[_BatchEntry, PendingReception]] = []
+        for session, stage_s, enqueued_t, staged in pending:
+            entry = _BatchEntry(
+                session=session,
+                stage_s=stage_s,
+                enqueued_t=enqueued_t,
+                outcome=staged if isinstance(staged, PacketOutcome) else None,
+            )
+            entries.append(entry)
+            if isinstance(staged, PendingReception):
+                receptions.append((entry, staged))
+        groups: list[_GroupDispatch] = []
+        if receptions and self._decode_pool is None:
+            # Decoding inline (not in an executor) keeps the unsharded
+            # gateway single-tasked; per-packet kernel cost is
             # ~0.1-3 ms and the loopwatch sanitizer bounds the worst
             # case at runtime.
-            outcomes = pending[0][0].pipeline.decode_many(  # reproasync: disable=C001
-                [item for _, item in receptions]
+            outcomes = decode_pending_many(  # reproasync: disable=C001
+                [staged for _, staged in receptions]
             )
-            decode_s = (perf_counter() - t0) / len(receptions)
-            decoded = {i: o for (i, _), o in zip(receptions, outcomes)}
-        for i, (session, stage_s, item) in enumerate(pending):
-            if i in decoded:
-                await self._publish_outcome(session, decoded[i], stage_s + decode_s)
-            else:
-                assert isinstance(item, PacketOutcome)
-                await self._publish_outcome(session, item, stage_s)
+            for (entry, _), outcome in zip(receptions, outcomes):
+                entry.outcome = outcome
+        elif receptions:
+            by_key: dict[object, int] = {}
+            for entry, staged in receptions:
+                key = staged._decode_key()
+                index = by_key.get(key)
+                if index is None:
+                    index = len(groups)
+                    by_key[key] = index
+                    groups.append(
+                        _GroupDispatch(
+                            payloads=[],
+                            index=self._dispatch_counter,
+                            name=staged.protocol.name,
+                            generation=self._pool_generation,
+                        )
+                    )
+                    self._dispatch_counter += 1
+                group = groups[index]
+                entry.group = index
+                entry.slot = len(group.payloads)
+                group.payloads.append(pending_to_payload(staged))
+            for group in groups:
+                self._submit_group(group)
         pending.clear()
+        await self._enqueue_batch(_PendingBatch(entries=entries, groups=groups))
+
+    async def _enqueue_batch(self, batch: _PendingBatch | None) -> None:
+        """Queue a batch for the publisher, surfacing its death.
+
+        A plain ``queue.put`` would deadlock if the publisher failed
+        with the queue full, so the put races the publisher task; a
+        dead publisher re-raises its error on the air loop.
+        """
+        task = self._publisher_task
+        queue = self._publish_queue
+        assert task is not None and queue is not None
+        if not task.done():
+            put = asyncio.ensure_future(queue.put(batch))
+            try:
+                await asyncio.wait({put, task}, return_when=asyncio.FIRST_COMPLETED)
+            finally:
+                if not put.done():
+                    put.cancel()
+            if put.done() and not put.cancelled():
+                return
+        if task.done() and not task.cancelled():
+            exc = task.exception()
+            if exc is not None:
+                raise exc
+        raise RuntimeError("gateway publisher task exited before end of stream")
+
+    async def _close_publisher(self) -> None:
+        """End-of-stream: flush the publisher and join it."""
+        task = self._publisher_task
+        if task is None:
+            return
+        await self._enqueue_batch(None)
+        try:
+            await task
+        finally:
+            self._publisher_task = None
+
+    async def _publish_batches(self) -> None:
+        """The reordering buffer: one task republishes in order.
+
+        Batches arrive in dispatch (= schedule) order on the bounded
+        queue; within a batch, entries are already in schedule order
+        and groups resolve out of order on the pool — awaiting them
+        batch-by-batch restores the global order before any event
+        reaches the hub.  A ``None`` sentinel ends the stream.
+        """
+        queue = self._publish_queue
+        assert queue is not None
+        while True:
+            batch = await queue.get()
+            if batch is None:
+                return
+            resolved = [await self._await_group(group) for group in batch.groups]
+            for entry in batch.entries:
+                if entry.group >= 0:
+                    outcome = resolved[entry.group][entry.slot]
+                else:
+                    assert entry.outcome is not None
+                    outcome = entry.outcome
+                latency_s = entry.stage_s + (perf_counter() - entry.enqueued_t)
+                await self._publish_outcome(entry.session, outcome, latency_s)
 
     # -- the air loop -----------------------------------------------------
     async def serve(self, source: AsyncExcitationSource) -> GatewayStats:
@@ -395,11 +712,17 @@ class Gateway:
             raise RuntimeError("gateway is already serving")
         self._running = True
         self._stop_requested = False
+        self._data_plane_clean = False
         self._ensure_sweep()
         watch = loopwatch.maybe_start()
         started = perf_counter()
+        cfg = self.config
+        if cfg.decode_workers > 0:
+            self._decode_pool = self._new_pool()
+        self._publish_queue = asyncio.Queue(maxsize=cfg.max_inflight_batches)
+        self._publisher_task = asyncio.ensure_future(self._publish_batches())
         pending: list[
-            tuple[TagSession, float, PacketOutcome | PendingReception]
+            tuple[TagSession, float, float, PacketOutcome | PendingReception]
         ] = []
         try:
             try:
@@ -434,22 +757,21 @@ class Gateway:
                         scheduled, session.payload, session.cursor, session.rng
                     )
                     stage_s = perf_counter() - t0
-                    if isinstance(staged, PacketOutcome) and not pending:
-                        # Nothing buffered ahead of it: publish right away.
-                        await self._publish_outcome(session, staged, stage_s)
-                    else:
-                        pending.append((session, stage_s, staged))
-                        n_receptions = sum(
-                            1
-                            for _, _, item in pending
-                            if isinstance(item, PendingReception)
-                        )
-                        if n_receptions >= self.config.decode_batch:
-                            await self._flush_pending(pending)
-                await self._flush_pending(pending)
-                stats = await self._drain()
-                stats.elapsed_s = perf_counter() - started
-                return stats
+                    pending.append((session, stage_s, perf_counter(), staged))
+                    n_receptions = sum(
+                        1
+                        for _, _, _, item in pending
+                        if isinstance(item, PendingReception)
+                    )
+                    # An all-ready buffer (short-circuit outcomes only)
+                    # has nothing to batch: hand it over right away, as
+                    # the pre-sharding gateway published it right away.
+                    if n_receptions == 0 or n_receptions >= cfg.decode_batch:
+                        await self._dispatch_batch(pending)
+                await self._dispatch_batch(pending)
+                await self._close_publisher()
+                self._data_plane_clean = True
+                return await self._drain()
             except asyncio.CancelledError:
                 # Mid-await cancellation (hard shutdown): stop the sweep
                 # and close every stream so consumers blocked on get()
@@ -458,6 +780,24 @@ class Gateway:
                 self.hub.close_all(reason="gateway cancelled")
                 raise
         finally:
+            task = self._publisher_task
+            self._publisher_task = None
+            if task is not None:
+                # One cancel is not enough: wait_for's completion race
+                # can swallow a cancellation that lands just as a
+                # subscriber put resolves (the publisher then re-parks
+                # on queue.get with the request spent), so keep
+                # cancelling until the task actually finishes.
+                while not task.done():
+                    task.cancel()
+                    await asyncio.sleep(0)
+                if not task.cancelled():
+                    task.exception()  # already surfaced via _enqueue_batch
+            self._publish_queue = None
+            self._teardown_pool()
+            # In the finally so mid-cancel / failed runs report their
+            # true wall-clock instead of a zero.
+            self.stats.elapsed_s = perf_counter() - started
             if watch is not None:
                 lw = await watch.stop()
                 self.stats.loopwatch_violations = lw.violations

@@ -173,6 +173,11 @@ class SubscriptionHub:
         # Set whenever a queue shrinks or a subscriber closes; drain()
         # clears it before re-checking so no wakeup is ever lost.
         self._activity = asyncio.Event()
+        # Highest data-plane stream_seq seen; the reordering buffer
+        # upstream must hand packets over in schedule order, and this
+        # guard turns any regression into a loud failure here rather
+        # than a silently reordered subscriber stream.
+        self._last_stream_seq = 0
 
     def _notify(self) -> None:
         self._activity.set()
@@ -213,6 +218,14 @@ class SubscriptionHub:
         ``BLOCK`` consumers past the stall timeout, ``DISCONNECT``
         consumers that were full).
         """
+        stream_seq = getattr(event, "stream_seq", 0)
+        if stream_seq > 0:
+            if stream_seq <= self._last_stream_seq:
+                raise RuntimeError(
+                    f"packet stream_seq went backwards: {stream_seq} after "
+                    f"{self._last_stream_seq} (reordering buffer bug)"
+                )
+            self._last_stream_seq = stream_seq
         evicted: list[Subscriber] = []
         for sub in list(self._subscribers.values()):
             if sub.closed:

@@ -24,7 +24,8 @@ Spec grammar (semicolon-separated entries)::
 
 Keys:
 
-``site``      required; one of ``trial``, ``chunk``, ``save``
+``site``      required; one of ``trial``, ``chunk``, ``save``,
+              ``gateway``, ``decode``
 ``index``     integer; fire only at this trial/chunk index
 ``name``      substring matched against the site name (e.g. the
               artifact path for ``save`` sites)
@@ -74,8 +75,12 @@ ENV_VAR = "REPRO_FAULTS"
 #: ``gateway`` sites live inside the asyncio service
 #: (:mod:`repro.gateway`): subscriber delivery stalls and tag-task
 #: crashes are forced through the same grammar, with names like
-#: ``tag:<tag_id>`` and ``subscriber:<name>``.
-SITES = ("trial", "chunk", "save", "gateway")
+#: ``tag:<tag_id>`` and ``subscriber:<name>``.  ``decode`` sites run
+#: inside the gateway's decode worker pool
+#: (:func:`repro.sim.pipeline.decode_worker_group`): ``kill`` models a
+#: crashed decode worker, ``hang`` a stuck one; ``index`` is the
+#: dispatch counter and ``name`` the receiver-group label.
+SITES = ("trial", "chunk", "save", "gateway", "decode")
 
 #: Supported fault actions.
 KINDS = ("raise", "hang", "kill")

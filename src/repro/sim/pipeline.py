@@ -43,14 +43,20 @@ from repro.core.tag_modulation import TagModulator
 from repro.core.wavecache import LruCache
 from repro.phy.protocols import Protocol
 from repro.phy.waveform import Waveform
+from repro.sim import faults
 from repro.sim.traffic import ScheduledPacket, random_packet
 
 __all__ = [
     "PacketOutcome",
     "PendingReception",
+    "DecodePayload",
     "ReceiverSet",
     "AirlinkPipeline",
     "receiver_set",
+    "pending_to_payload",
+    "payload_to_pending",
+    "decode_pending_many",
+    "decode_worker_group",
 ]
 
 #: Productive bits crafted into every overlay excitation packet (the
@@ -140,6 +146,62 @@ class PendingReception:
     def _decode_key(self) -> tuple[OverlayConfig, float]:
         cfg = self.receivers.codec.config
         return (cfg, self.receivers.modulator.frequency_shift_hz)
+
+
+@dataclass
+class DecodePayload:
+    """A pickle-safe :class:`PendingReception` for the decode pool.
+
+    Carries the reception's data plus the *key* of its receiver set
+    (overlay config and frequency shift) instead of the constructed
+    :class:`ReceiverSet`: the worker rebuilds the receivers through
+    :func:`receiver_set`, so the first group a worker process sees
+    warms its own wavecache and every later group hits it.  All fields
+    are plain dataclasses/arrays, so the payload crosses the process
+    boundary without dragging decoder state along.
+    """
+
+    protocol: Protocol
+    start_s: float
+    identified: Protocol | None
+    received: Waveform
+    reaction: TagReaction
+    productive: np.ndarray
+    config: OverlayConfig
+    frequency_shift_hz: float
+
+
+def pending_to_payload(pending: PendingReception) -> DecodePayload:
+    """Strip a pending reception down to its picklable decode inputs."""
+    config, shift = pending._decode_key()
+    return DecodePayload(
+        protocol=pending.protocol,
+        start_s=pending.start_s,
+        identified=pending.identified,
+        received=pending.received,
+        reaction=pending.reaction,
+        productive=pending.productive,
+        config=config,
+        frequency_shift_hz=shift,
+    )
+
+
+def payload_to_pending(payload: DecodePayload) -> PendingReception:
+    """Rebuild a decodable reception in the receiving process.
+
+    ``receiver_set`` is memoized per process, so this is the worker's
+    cache-warmup path: construction cost is paid once per (config,
+    shift) per worker, never per packet.
+    """
+    return PendingReception(
+        protocol=payload.protocol,
+        start_s=payload.start_s,
+        identified=payload.identified,
+        received=payload.received,
+        reaction=payload.reaction,
+        productive=payload.productive,
+        receivers=receiver_set(payload.config, payload.frequency_shift_hz),
+    )
 
 
 class AirlinkPipeline:
@@ -311,16 +373,7 @@ class AirlinkPipeline:
         is one ``demodulate_batch`` dispatch.  Results come back in
         input order and are bit-identical to per-packet decodes.
         """
-        outcomes: list[PacketOutcome | None] = [None] * len(pendings)
-        groups: dict[tuple[OverlayConfig, float], list[int]] = {}
-        for i, pending in enumerate(pendings):
-            groups.setdefault(pending._decode_key(), []).append(i)
-        for idx in groups.values():
-            decoder = pendings[idx[0]].receivers.decoder
-            waves = [pendings[i].received for i in idx]
-            for i, values in zip(idx, decoder.symbol_values_batch(waves)):
-                outcomes[i] = self._outcome_from_decode(pendings[i], values)
-        return [o for o in outcomes if o is not None]
+        return decode_pending_many(pendings)
 
     # -- the whole loop for one packet ----------------------------------
     def process(
@@ -340,3 +393,45 @@ class AirlinkPipeline:
         if isinstance(staged, PacketOutcome):
             return staged, cursor
         return self.decode(staged), cursor
+
+
+def decode_pending_many(pendings: list[PendingReception]) -> list[PacketOutcome]:
+    """Decode pending receptions with grouped batched kernels.
+
+    Module-level (tag-independent) so the gateway's decode pool can run
+    it in worker processes: the decode stage reads only the reception
+    and its receivers, never tag or pipeline state, and draws no RNG.
+    Receptions are grouped by (protocol, mode, shift); each group is
+    one ``demodulate_batch`` dispatch.  Results come back in input
+    order and are bit-identical to per-packet decodes.
+    """
+    outcomes: list[PacketOutcome | None] = [None] * len(pendings)
+    groups: dict[tuple[OverlayConfig, float], list[int]] = {}
+    for i, pending in enumerate(pendings):
+        groups.setdefault(pending._decode_key(), []).append(i)
+    for idx in groups.values():
+        decoder = pendings[idx[0]].receivers.decoder
+        waves = [pendings[i].received for i in idx]
+        for i, values in zip(idx, decoder.symbol_values_batch(waves)):
+            outcomes[i] = AirlinkPipeline._outcome_from_decode(pendings[i], values)
+    return [o for o in outcomes if o is not None]
+
+
+def decode_worker_group(
+    payloads: list[DecodePayload],
+    group_index: int,
+    group_name: str,
+    attempt: int,
+) -> list[PacketOutcome]:
+    """Decode one receiver-config group inside a pool worker.
+
+    This is the gateway's executor entry point: payloads in a group
+    share one (config, shift) key, so the whole group is a single
+    fused ``demodulate_batch`` dispatch after the memoized receiver
+    rebuild.  The ``decode`` fault site fires first so tests can model
+    a worker that crashes (``kill``) or wedges (``hang``) mid-decode
+    and prove the retry-in-pool recovery is bit-identical.
+    """
+    faults.check("decode", index=group_index, name=group_name, attempt=attempt)
+    pendings = [payload_to_pending(p) for p in payloads]
+    return decode_pending_many(pendings)

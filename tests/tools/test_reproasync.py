@@ -418,6 +418,45 @@ class TestC005SharedRng:
         """
         assert _codes(tmp_path, src) == []
 
+    def test_generator_drawn_across_executor_hop_fires(self, tmp_path):
+        # A pool-worker entry point counts as a concurrent root on its
+        # own: one run_in_executor dispatch of a worker that draws a
+        # shared seeded generator already makes replay depend on pool
+        # scheduling, no second asyncio task required.
+        src = """\
+            import asyncio
+            import numpy as np
+
+            class Sensor:
+                def __init__(self):
+                    self.rng = np.random.default_rng(0)
+
+            sensor = Sensor()
+
+            def worker(n):
+                return sensor.rng.normal()
+
+            async def main(pool):
+                loop = asyncio.get_running_loop()
+                await loop.run_in_executor(pool, worker, 1)
+        """
+        assert _codes(tmp_path, src) == ["C005"]
+
+    def test_rng_free_executor_worker_ok(self, tmp_path):
+        # The gateway's decode hop: the shipped worker is RNG-free, so
+        # the executor dispatch alone must not fire.
+        src = """\
+            import asyncio
+
+            def worker(xs):
+                return [x + 1 for x in xs]
+
+            async def main(pool):
+                loop = asyncio.get_running_loop()
+                await loop.run_in_executor(pool, worker, [1])
+        """
+        assert _codes(tmp_path, src) == []
+
 
 _MAC_GUARDED = """\
     import numpy as np

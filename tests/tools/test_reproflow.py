@@ -695,6 +695,33 @@ class TestCallGraph:
         assert any(fq.endswith(".leaf") for fq in reach)
         assert not any(fq.endswith(".launch") for fq in reach)
 
+    def test_run_in_executor_callable_is_second_argument(self, tmp_path):
+        # loop.run_in_executor(pool, fn, *args): the executor sits at
+        # position 0, the shipped callable at position 1.
+        _write(
+            tmp_path,
+            """\
+            def leaf():
+                ...
+
+            def worker(payloads):
+                leaf()
+
+            async def launch(loop, pool):
+                await loop.run_in_executor(pool, worker, [1])
+
+            async def degenerate(loop, pool):
+                await loop.run_in_executor(pool)
+            """,
+        )
+        index = ProjectIndex.build([str(tmp_path)])
+        roots = worker_roots(index)
+        assert any(fq.endswith(".worker") for fq in roots)
+        # The executor argument is never mistaken for the callable.
+        assert not any(fq.endswith(".launch") for fq in roots)
+        reach = reachable_functions(index, roots)
+        assert any(fq.endswith(".leaf") for fq in reach)
+
     def test_report_structure(self, tmp_path):
         _write(
             tmp_path,

@@ -77,6 +77,7 @@ _HEAVY_KERNELS = frozenset(
     {
         "excite_and_react",
         "decode_many",
+        "decode_pending_many",
         "run_airlink",
         "modulate",
         "demodulate",
@@ -515,9 +516,18 @@ def check_races(graph: AsyncGraph) -> list[Finding]:
 # C005 — determinism-replay violations
 # ----------------------------------------------------------------------
 def check_shared_rng_draws(graph: AsyncGraph) -> list[Finding]:
-    """A seeded Generator drawn from >= 2 concurrent task instances."""
+    """A seeded Generator drawn from >= 2 concurrent execution roots.
+
+    Roots are async task spawns *and* pool-worker entry points (the
+    ``run_in_executor``/``submit`` hop): a generator drawn both by the
+    air loop and inside a decode worker would make replay depend on
+    pool scheduling just as surely as two racing tasks would.
+    """
     index = graph.index
-    closures = {root: graph.closure(root) for root in graph.task_roots}
+    root_counts = dict(graph.task_roots)
+    for root, count in graph.pool_roots.items():
+        root_counts[root] = min(2, root_counts.get(root, 0) + count)
+    closures = {root: graph.closure(root) for root in root_counts}
     # key -> {fq drawing it -> first draw node}
     drawers: dict[str, dict[str, ast.AST]] = {}
     reachable = set().union(*closures.values()) if closures else set()
@@ -530,7 +540,7 @@ def check_shared_rng_draws(graph: AsyncGraph) -> list[Finding]:
         draw_fns = set(drawers[key])
         total = sum(
             count
-            for root, count in graph.task_roots.items()
+            for root, count in root_counts.items()
             if closures[root] & draw_fns
         )
         if total < 2:

@@ -463,7 +463,12 @@ class _CallCollector:
         func = node.func
         if not isinstance(func, ast.Attribute) or not node.args:
             return
-        first = node.args[0]
+        # loop.run_in_executor(pool, fn, *args) is the asyncio hop into
+        # a pool: the callable rides second, behind the executor.
+        callable_pos = 1 if func.attr == "run_in_executor" else 0
+        if len(node.args) <= callable_pos:
+            return
+        first = node.args[callable_pos]
         target: str | None = None
         if isinstance(first, ast.Name):
             target = self._function_ref(fn, first.id)
@@ -473,7 +478,7 @@ class _CallCollector:
                 target = fq
         if target is None:
             return
-        if func.attr in {"submit", "map"}:
+        if func.attr in {"submit", "map", "run_in_executor"}:
             fn.spawn_targets.append(target)
         elif func.attr == "run":
             base = func.value
